@@ -1,0 +1,43 @@
+# TetriSched-Go build targets. Everything is plain `go` underneath; the
+# Makefile just names the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench cover experiments experiments-quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Reduced-scale regenerations of every paper table/figure.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# Full-scale regeneration of the paper's evaluation (slow; see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments -all
+
+experiments-quick:
+	$(GO) run ./cmd/experiments -all -quick
+
+examples:
+	@for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run ./$$d || exit 1; \
+	done
+
+clean:
+	$(GO) clean ./...

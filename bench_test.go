@@ -1,0 +1,139 @@
+// Package tetrisched's root benchmark suite regenerates every table and
+// figure of the paper at a reduced scale — the same code paths as
+// cmd/experiments, sized so `go test -bench=.` terminates quickly. The
+// full-scale numbers in EXPERIMENTS.md come from `cmd/experiments -all`.
+package tetrisched
+
+import (
+	"io"
+	"testing"
+
+	"tetrisched/internal/bitset"
+	"tetrisched/internal/cluster"
+	"tetrisched/internal/compiler"
+	"tetrisched/internal/core"
+	"tetrisched/internal/experiments"
+	"tetrisched/internal/milp"
+	"tetrisched/internal/rayon"
+	"tetrisched/internal/sim"
+	"tetrisched/internal/strl"
+	"tetrisched/internal/workload"
+)
+
+func benchFig(b *testing.B, fn func(io.Writer, experiments.Scale) error) {
+	b.Helper()
+	sc := experiments.Bench()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fn(io.Discard, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Workloads generates every Table 1 workload mix.
+func BenchmarkTable1Workloads(b *testing.B) {
+	c256 := cluster.RC256(false)
+	c80 := cluster.RC80(true)
+	for i := 0; i < b.N; i++ {
+		for _, m := range []workload.Mix{workload.GRSLO(200), workload.GRMIX(200)} {
+			if _, err := workload.Generate(m, c256, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, m := range []workload.Mix{workload.GSMIX(200), workload.GSHET(200)} {
+			if _, err := workload.Generate(m, c80, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig4MILPExample compiles and solves the §5.1 example.
+func BenchmarkFig4MILPExample(b *testing.B) {
+	n := 3
+	all := bitset.New(n)
+	all.Fill()
+	jobs := []strl.Expr{
+		&strl.NCk{Set: all, K: 2, Start: 0, Dur: 1, Value: 1},
+		&strl.Max{Kids: []strl.Expr{
+			&strl.NCk{Set: all, K: 1, Start: 0, Dur: 2, Value: 1},
+			&strl.NCk{Set: all, K: 1, Start: 1, Dur: 2, Value: 1},
+			&strl.NCk{Set: all, K: 1, Start: 2, Dur: 2, Value: 1},
+		}},
+		&strl.Max{Kids: []strl.Expr{
+			&strl.NCk{Set: all, K: 3, Start: 0, Dur: 1, Value: 1},
+			&strl.NCk{Set: all, K: 3, Start: 1, Dur: 1, Value: 1},
+		}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comp, err := compiler.Compile(jobs, compiler.Options{Universe: n, Horizon: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sol, err := milp.Solve(comp.Model, milp.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Objective < 3-1e-9 {
+			b.Fatalf("objective = %v, want 3", sol.Objective)
+		}
+	}
+}
+
+// Per-figure benchmarks: the exact experiment code at Bench scale.
+func BenchmarkFig6GRMixEstimateError(b *testing.B) { benchFig(b, experiments.Fig6) }
+func BenchmarkFig7GRSLOEstimateError(b *testing.B) { benchFig(b, experiments.Fig7) }
+func BenchmarkFig8GSMixEstimateError(b *testing.B) { benchFig(b, experiments.Fig8) }
+func BenchmarkFig9SoftConstraints(b *testing.B)    { benchFig(b, experiments.Fig9) }
+func BenchmarkFig10GlobalScheduling(b *testing.B)  { benchFig(b, experiments.Fig10) }
+func BenchmarkFig11PlanAhead(b *testing.B)         { benchFig(b, experiments.Fig11) }
+func BenchmarkFig12Scalability(b *testing.B)       { benchFig(b, experiments.Fig12) }
+
+// Extension benchmarks: TR-scale cluster sweep, preemption ablation, and
+// elastic-job ablation.
+func BenchmarkExtScaleSweep(b *testing.B)         { benchFig(b, experiments.ExtScale) }
+func BenchmarkExtPreemptionAblation(b *testing.B) { benchFig(b, experiments.ExtPreempt) }
+func BenchmarkExtElasticAblation(b *testing.B)    { benchFig(b, experiments.ExtElastic) }
+
+// BenchmarkSchedulerCycle measures one TetriSched cycle on a loaded RC80
+// heterogeneous cluster — the paper's core scalability quantity (Fig 12).
+func BenchmarkSchedulerCycle(b *testing.B) {
+	c := cluster.RC80(true)
+	jobs, err := workload.Generate(workload.GSHET(40), c, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := rayon.NewPlan(c.N(), 4)
+	sched := core.New(c, core.Config{CyclePeriod: 4, PlanAhead: 96})
+	for _, j := range jobs {
+		if j.Class == workload.SLO {
+			r := plan.Admit(j.ID, 0, j.Deadline+1000, j.K, j.EstRuntime(true))
+			j.Reserved = r != nil
+		}
+		sched.Submit(0, j)
+	}
+	free := c.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.Cycle(int64(i)*4, free.Clone())
+	}
+}
+
+// BenchmarkEndToEndGSHET runs a small full simulation (workload → admission
+// → scheduling → metrics) per iteration.
+func BenchmarkEndToEndGSHET(b *testing.B) {
+	c := cluster.RC80(true)
+	for i := 0; i < b.N; i++ {
+		jobs, err := workload.Generate(workload.GSHET(20), c, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan := rayon.NewPlan(c.N(), 4)
+		sched := core.New(c, core.Config{CyclePeriod: 4, PlanAhead: 48})
+		if _, err := sim.Run(sim.Config{Cluster: c, Jobs: jobs, Scheduler: sched, Plan: plan, CyclePeriod: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

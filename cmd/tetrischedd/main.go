@@ -1,0 +1,77 @@
+// Command tetrischedd runs the TetriSched scheduler as a standalone daemon
+// behind an HTTP/JSON interface — the role the TetriSched daemon plays
+// behind Apache Thrift in the paper's YARN integration (§3.3). A resource
+// manager (or the bundled simulation client) submits jobs, triggers
+// scheduling cycles with the current free-node set, and signals completions;
+// the daemon answers with allocation decisions.
+//
+//	tetrischedd -listen :7140 -nodes 80 -racks 8 -gpu-racks 2 -plan-ahead 96
+//
+// Endpoints:
+//
+//	POST /v1/jobs         submit a job        {id, class, type, k, ...}
+//	POST /v1/cycle        run one cycle       {now, free:[ids]} → decisions
+//	POST /v1/completions  signal completion   {job_id, now}
+//	GET  /v1/status       daemon state
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"tetrisched/internal/cluster"
+	"tetrisched/internal/core"
+	"tetrisched/internal/httpapi"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":7140", "listen address")
+		nodes     = flag.Int("nodes", 80, "cluster size")
+		racks     = flag.Int("racks", 8, "rack count (nodes split evenly)")
+		gpuRacks  = flag.Int("gpu-racks", 2, "leading racks labeled gpu=true")
+		planAhead = flag.Int64("plan-ahead", 96, "plan-ahead window in seconds")
+		cycle     = flag.Int64("cycle", 4, "cycle period in seconds")
+		quantum   = flag.Int64("plan-quantum", 0, "planning time-slice in seconds (0 = cycle period)")
+		greedy    = flag.Bool("greedy", false, "TetriSched-NG (greedy per-job)")
+		noHet     = flag.Bool("no-het", false, "TetriSched-NH (no soft constraints)")
+		preempt   = flag.Bool("preempt", false, "enable best-effort preemption")
+		limit     = flag.Duration("solver-limit", 300*time.Millisecond, "per-solve MILP time limit")
+		gap       = flag.Float64("gap", 0.1, "relative MIP gap")
+	)
+	flag.Parse()
+
+	b := cluster.NewBuilder()
+	perRack := (*nodes + *racks - 1) / *racks
+	id := 0
+	for r := 0; r < *racks && id < *nodes; r++ {
+		var attrs map[string]string
+		if r < *gpuRacks {
+			k, v := cluster.GPUAttr()
+			attrs = map[string]string{k: v}
+		}
+		for i := 0; i < perRack && id < *nodes; i++ {
+			b.AddNode(fmt.Sprintf("r%d/n%d", r, i), fmt.Sprintf("r%d", r), attrs)
+			id++
+		}
+	}
+	c := b.Build()
+
+	sched := core.New(c, core.Config{
+		CyclePeriod:      *cycle,
+		PlanQuantum:      *quantum,
+		PlanAhead:        *planAhead,
+		Greedy:           *greedy,
+		NoHet:            *noHet,
+		EnablePreemption: *preempt,
+		SolverTimeLimit:  *limit,
+		Gap:              *gap,
+	})
+	srv := httpapi.NewServer(sched, c.N())
+	log.Printf("tetrischedd: %s on %d nodes (%d racks, %d gpu), listening on %s",
+		sched.Name(), c.N(), *racks, *gpuRacks, *listen)
+	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+}

@@ -1,0 +1,66 @@
+package tetrisched
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandLineTools smoke-tests each CLI end to end: build the binary,
+// run a representative invocation, check the output.
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess tools")
+	}
+	bin := t.TempDir()
+	build := func(name string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+		return out
+	}
+	run := func(name string, args ...string) string {
+		cmd := exec.Command(build(name), args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	t.Run("strlc", func(t *testing.T) {
+		out := run("strlc", "-nodes", "4", "-gpus", "2",
+			"-e", "max(nCk({gpu}, k=2, start=0, dur=2, v=4), nCk({*}, k=2, start=0, dur=3, v=3))")
+		for _, want := range []string{"parsed STRL", "partition groups", "objective=4", "grants:"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("strlc output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("tetrisim", func(t *testing.T) {
+		trace := filepath.Join(bin, "trace.json")
+		out := run("tetrisim", "-cluster", "rc80", "-workload", "gsmix", "-jobs", "10",
+			"-gantt", "-save-trace", trace)
+		for _, want := range []string{"TetriSched", "SLO(all)", "legend:"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("tetrisim output missing %q:\n%s", want, out)
+			}
+		}
+		// Replay the saved trace under the baseline.
+		out2 := run("tetrisim", "-load-trace", trace, "-sched", "cs")
+		if !strings.Contains(out2, "Rayon/CS") || !strings.Contains(out2, "jobs=10") {
+			t.Errorf("trace replay malformed:\n%s", out2)
+		}
+	})
+
+	t.Run("experiments", func(t *testing.T) {
+		out := run("experiments", "-table", "1")
+		if !strings.Contains(out, "GS_HET") {
+			t.Errorf("experiments -table 1 malformed:\n%s", out)
+		}
+	})
+}

@@ -1,0 +1,68 @@
+// Quickstart: build a small heterogeneous cluster, submit a mixed batch of
+// SLO and best-effort jobs, run TetriSched against the discrete-event
+// simulator, and print what happened to every job.
+package main
+
+import (
+	"fmt"
+
+	"tetrisched/internal/cluster"
+	"tetrisched/internal/core"
+	"tetrisched/internal/metrics"
+	"tetrisched/internal/rayon"
+	"tetrisched/internal/sim"
+	"tetrisched/internal/workload"
+)
+
+func main() {
+	// A 16-node cluster: 2 racks, rack r0 GPU-labeled.
+	c := cluster.NewBuilder().
+		AddRack("r0", 8, map[string]string{"gpu": "true"}).
+		AddRack("r1", 8, nil).
+		Build()
+
+	// A small hand-written workload: two deadline (SLO) jobs with placement
+	// preferences and two best-effort jobs.
+	jobs := []*workload.Job{
+		{ID: 0, Class: workload.SLO, Type: workload.GPU, Submit: 0, K: 4,
+			BaseRuntime: 60, Slowdown: 2, Deadline: 200},
+		{ID: 1, Class: workload.SLO, Type: workload.MPI, Submit: 5, K: 6,
+			BaseRuntime: 80, Slowdown: 1.5, Deadline: 400},
+		{ID: 2, Class: workload.BestEffort, Type: workload.Unconstrained, Submit: 10, K: 2,
+			BaseRuntime: 30, Slowdown: 1},
+		{ID: 3, Class: workload.BestEffort, Type: workload.Unconstrained, Submit: 12, K: 8,
+			BaseRuntime: 45, Slowdown: 1},
+	}
+
+	// The Rayon-style reservation plan admits SLO jobs; TetriSched schedules.
+	plan := rayon.NewPlan(c.N(), 4)
+	sched := core.New(c, core.Config{
+		CyclePeriod: 4,  // scheduling cycle and plan-ahead quantum (seconds)
+		PlanAhead:   96, // deferred-placement window (seconds)
+	})
+
+	res, err := sim.Run(sim.Config{
+		Cluster: c, Jobs: jobs, Scheduler: sched, Plan: plan, CyclePeriod: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("per-job outcomes:")
+	for i := range res.Stats {
+		st := &res.Stats[i]
+		j := st.Job
+		verdict := "completed"
+		if j.Class == workload.SLO {
+			if st.MetSLO() {
+				verdict = "met SLO"
+			} else {
+				verdict = "MISSED SLO"
+			}
+		}
+		fmt.Printf("  job %d (%s/%s, k=%d): start=%ds finish=%ds runtime=%ds  %s\n",
+			j.ID, j.Class, j.Type, j.K, st.Start, st.Finish, st.Finish-st.Start, verdict)
+	}
+	fmt.Println()
+	fmt.Println(metrics.Summarize(sched.Name(), res, c.N()))
+}

@@ -1,0 +1,57 @@
+// Reservations and mis-estimation (paper §2.1, §7.1): the same SLO+BE
+// workload runs under the Rayon/CapacityScheduler baseline and under
+// Rayon/TetriSched, with runtimes under-estimated by 50%. The baseline
+// follows the static reservation plan — when a reservation expires before
+// its under-estimated job finishes, the job is transferred to the
+// best-effort queue and preempted. TetriSched re-plans every cycle and
+// absorbs the mis-estimates.
+package main
+
+import (
+	"fmt"
+
+	"tetrisched/internal/capsched"
+	"tetrisched/internal/cluster"
+	"tetrisched/internal/core"
+	"tetrisched/internal/metrics"
+	"tetrisched/internal/rayon"
+	"tetrisched/internal/sim"
+	"tetrisched/internal/workload"
+)
+
+func main() {
+	c := cluster.RC80(false)
+	mix := workload.GSMIX(80)
+	mix.EstErr = -0.5    // runtimes believed to be half their true value
+	mix.TargetUtil = 1.2 // near saturation
+
+	fmt.Println("GS_MIX on 80 nodes, runtime estimates 50% below reality:")
+	fmt.Println()
+	for _, which := range []string{"cs", "tetrisched"} {
+		jobs, err := workload.Generate(mix, c, 42)
+		if err != nil {
+			panic(err)
+		}
+		plan := rayon.NewPlan(c.N(), 4)
+		var sched sim.Scheduler
+		if which == "cs" {
+			sched = capsched.New(c, plan)
+		} else {
+			sched = core.New(c, core.Config{CyclePeriod: 4, PlanAhead: 96})
+		}
+		res, err := sim.Run(sim.Config{Cluster: c, Jobs: jobs, Scheduler: sched, Plan: plan, CyclePeriod: 4})
+		if err != nil {
+			panic(err)
+		}
+		sum := metrics.Summarize(sched.Name(), res, c.N())
+		preempted := 0
+		for i := range res.Stats {
+			preempted += res.Stats[i].Preemptions
+		}
+		fmt.Println(sum)
+		fmt.Printf("  (accepted=%d no-reservation=%d BE=%d, preemptions=%d)\n\n",
+			sum.NumAccepted, sum.NumNoRes, sum.NumBE, preempted)
+	}
+	fmt.Println("TetriSched needs no preemption: it re-evaluates the whole plan")
+	fmt.Println("each 4s cycle, bumping overrun estimates forward (§7.1).")
+}

@@ -1,0 +1,62 @@
+package tetrisched
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example main as a subprocess and checks for
+// its expected output — the examples double as end-to-end acceptance tests
+// of the public behavior they demonstrate.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess examples")
+	}
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"quickstart", []string{"met SLO", "per-job outcomes"}},
+		{"milp-example", []string{"objective = 3", "without plan-ahead: objective = 2"}},
+		{"gpu-softconstraints", []string{"WAITED for the GPU nodes", "FELL BACK to plain nodes"}},
+		{"mpi-gang", []string{"rack-local (fast)", "replica placed"}},
+		{"toy-schedules", []string{"Availability", "MPI", "GPU"}},
+		{"reservation", []string{"Rayon/CS", "TetriSched", "preemptions="}},
+		{"elastic", []string{"ran 8 wide for 40s", "ran 2 wide for 160s"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			bin := filepath.Join(t.TempDir(), c.dir)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+c.dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			cmd := exec.Command(bin)
+			done := make(chan struct{})
+			var out []byte
+			var err error
+			go func() {
+				out, err = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(3 * time.Minute):
+				_ = cmd.Process.Kill()
+				t.Fatalf("example timed out")
+			}
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

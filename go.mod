@@ -1,0 +1,3 @@
+module tetrisched
+
+go 1.22

@@ -1,0 +1,196 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatalf("new set not empty")
+	}
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	if s.Count() != 3 {
+		t.Fatalf("count = %d, want 3", s.Count())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !s.Contains(i) {
+			t.Errorf("missing %d", i)
+		}
+	}
+	if s.Contains(1) || s.Contains(-1) || s.Contains(130) {
+		t.Errorf("contains elements it should not")
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Count() != 2 {
+		t.Errorf("remove failed")
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Errorf("clear failed")
+	}
+}
+
+func TestFillAndTrim(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128} {
+		s := New(n)
+		s.Fill()
+		if s.Count() != n {
+			t.Errorf("Fill(%d): count = %d", n, s.Count())
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromIndices(10, 1, 2, 3, 5)
+	b := FromIndices(10, 3, 5, 7)
+	if got := a.Union(b).Indices(); len(got) != 5 {
+		t.Errorf("union = %v", got)
+	}
+	if got := a.Intersect(b).Indices(); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := a.Difference(b).Indices(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("difference = %v", got)
+	}
+	if a.IntersectCount(b) != 2 {
+		t.Errorf("intersect count = %d", a.IntersectCount(b))
+	}
+	if !a.Intersects(b) {
+		t.Errorf("intersects = false")
+	}
+	if a.SubsetOf(b) {
+		t.Errorf("a should not be subset of b")
+	}
+	if !a.Intersect(b).SubsetOf(a) {
+		t.Errorf("a∩b should be subset of a")
+	}
+}
+
+func TestNext(t *testing.T) {
+	s := FromIndices(200, 5, 64, 190)
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 190}, {190, 190}, {191, -1}, {-3, 5}, {500, -1},
+	}
+	for _, c := range cases {
+		if got := s.Next(c.from); got != c.want {
+			t.Errorf("Next(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromIndices(100, 1, 2, 3, 4)
+	n := 0
+	s.ForEach(func(i int) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := FromIndices(77, 0, 13, 76)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatalf("clone not equal")
+	}
+	b.Remove(13)
+	if a.Equal(b) {
+		t.Fatalf("mutating clone affected original comparison")
+	}
+	if a.Equal(New(78)) {
+		t.Fatalf("different capacities should not be equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromIndices(10, 2, 7).String(); got != "{2, 7}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(4).String(); got != "{}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// refSet is a map-based reference implementation for property testing.
+type refSet map[int]bool
+
+func randomPair(r *rand.Rand, n int) (*Set, refSet) {
+	s := New(n)
+	ref := refSet{}
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			s.Add(i)
+			ref[i] = true
+		}
+	}
+	return s, ref
+}
+
+func TestQuickAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		a, ra := randomPair(r, n)
+		b, rb := randomPair(r, n)
+
+		u := a.Union(b)
+		x := a.Intersect(b)
+		d := a.Difference(b)
+		for i := 0; i < n; i++ {
+			if u.Contains(i) != (ra[i] || rb[i]) {
+				return false
+			}
+			if x.Contains(i) != (ra[i] && rb[i]) {
+				return false
+			}
+			if d.Contains(i) != (ra[i] && !rb[i]) {
+				return false
+			}
+		}
+		if a.IntersectCount(b) != x.Count() {
+			return false
+		}
+		if a.Intersects(b) != (x.Count() > 0) {
+			return false
+		}
+		// Indices must be sorted ascending and consistent with Contains.
+		prev := -1
+		for _, i := range a.Indices() {
+			if i <= prev || !a.Contains(i) {
+				return false
+			}
+			prev = i
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Add out of range did not panic")
+		}
+	}()
+	New(5).Add(5)
+}
+
+func BenchmarkIntersectCount(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, _ := randomPair(r, 4096)
+	y, _ := randomPair(r, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.IntersectCount(y)
+	}
+}

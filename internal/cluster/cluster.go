@@ -1,0 +1,181 @@
+// Package cluster models the static structure of a heterogeneous cluster:
+// nodes grouped into racks and labeled with attributes (e.g. gpu=true), plus
+// the dynamic equivalence-set partitioner that TetriSched uses to minimize
+// the number of MILP partition variables (paper §4.2 and TR Appendix A).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"tetrisched/internal/bitset"
+)
+
+// NodeID indexes a node within its cluster; IDs are dense in [0, N).
+type NodeID int
+
+// Node is one machine.
+type Node struct {
+	ID    NodeID
+	Name  string
+	Rack  string
+	Attrs map[string]string
+}
+
+// Cluster is an immutable description of the machines available to the
+// scheduler.
+type Cluster struct {
+	nodes  []Node
+	racks  []string
+	byRack map[string]*bitset.Set
+	byAttr map[string]*bitset.Set // key "k=v"
+	all    *bitset.Set
+}
+
+// Builder assembles a Cluster rack by rack.
+type Builder struct {
+	nodes []Node
+}
+
+// NewBuilder returns an empty cluster builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddRack appends a rack of n nodes, all carrying the given attributes.
+// Node names are generated as rack/node-index.
+func (b *Builder) AddRack(rack string, n int, attrs map[string]string) *Builder {
+	for i := 0; i < n; i++ {
+		node := Node{
+			ID:    NodeID(len(b.nodes)),
+			Name:  fmt.Sprintf("%s/n%d", rack, i),
+			Rack:  rack,
+			Attrs: copyAttrs(attrs),
+		}
+		b.nodes = append(b.nodes, node)
+	}
+	return b
+}
+
+// AddNode appends a single node.
+func (b *Builder) AddNode(name, rack string, attrs map[string]string) *Builder {
+	b.nodes = append(b.nodes, Node{
+		ID:    NodeID(len(b.nodes)),
+		Name:  name,
+		Rack:  rack,
+		Attrs: copyAttrs(attrs),
+	})
+	return b
+}
+
+func copyAttrs(attrs map[string]string) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	c := make(map[string]string, len(attrs))
+	for k, v := range attrs {
+		c[k] = v
+	}
+	return c
+}
+
+// Build freezes the builder into a Cluster.
+func (b *Builder) Build() *Cluster {
+	n := len(b.nodes)
+	c := &Cluster{
+		nodes:  b.nodes,
+		byRack: make(map[string]*bitset.Set),
+		byAttr: make(map[string]*bitset.Set),
+		all:    bitset.New(n),
+	}
+	c.all.Fill()
+	for _, node := range b.nodes {
+		rs, ok := c.byRack[node.Rack]
+		if !ok {
+			rs = bitset.New(n)
+			c.byRack[node.Rack] = rs
+			c.racks = append(c.racks, node.Rack)
+		}
+		rs.Add(int(node.ID))
+		for k, v := range node.Attrs {
+			key := k + "=" + v
+			as, ok := c.byAttr[key]
+			if !ok {
+				as = bitset.New(n)
+				c.byAttr[key] = as
+			}
+			as.Add(int(node.ID))
+		}
+	}
+	sort.Strings(c.racks)
+	return c
+}
+
+// N returns the number of nodes.
+func (c *Cluster) N() int { return len(c.nodes) }
+
+// Node returns the node with the given ID.
+func (c *Cluster) Node(id NodeID) Node { return c.nodes[id] }
+
+// Racks returns the rack names in sorted order.
+func (c *Cluster) Racks() []string { return c.racks }
+
+// Rack returns the set of nodes in the named rack (nil if unknown).
+func (c *Cluster) Rack(name string) *bitset.Set {
+	if s, ok := c.byRack[name]; ok {
+		return s.Clone()
+	}
+	return nil
+}
+
+// WithAttr returns the set of nodes carrying attribute k=v; the empty set if
+// none do.
+func (c *Cluster) WithAttr(k, v string) *bitset.Set {
+	if s, ok := c.byAttr[k+"="+v]; ok {
+		return s.Clone()
+	}
+	return bitset.New(c.N())
+}
+
+// All returns the set of all nodes.
+func (c *Cluster) All() *bitset.Set { return c.all.Clone() }
+
+// Partitioning is the result of refining the cluster's nodes against the
+// equivalence sets referenced in one scheduling cycle: Groups is a partition
+// of the universe such that every input equivalence set is an exact union of
+// groups. Cover[i] lists the group indices whose union is input set i.
+type Partitioning struct {
+	Groups []*bitset.Set
+	Cover  [][]int
+}
+
+// Partition refines universe against the given equivalence sets. This is the
+// "dynamic partitioning of cluster resources at the beginning of each cycle
+// to minimize the number of partition variables" optimization: the MILP only
+// needs one integer variable per (leaf, group, start) rather than per node.
+func Partition(universe *bitset.Set, eqsets []*bitset.Set) *Partitioning {
+	groups := []*bitset.Set{universe.Clone()}
+	for _, es := range eqsets {
+		var next []*bitset.Set
+		for _, g := range groups {
+			in := g.Intersect(es)
+			if in.Empty() {
+				next = append(next, g)
+				continue
+			}
+			out := g.Difference(es)
+			next = append(next, in)
+			if !out.Empty() {
+				next = append(next, out)
+			}
+		}
+		groups = next
+	}
+	p := &Partitioning{Groups: groups, Cover: make([][]int, len(eqsets))}
+	for i, es := range eqsets {
+		for gi, g := range groups {
+			if g.SubsetOf(es) && !g.Empty() {
+				p.Cover[i] = append(p.Cover[i], gi)
+			}
+		}
+	}
+	return p
+}

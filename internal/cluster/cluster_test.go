@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tetrisched/internal/bitset"
+)
+
+func TestBuilderAndLookups(t *testing.T) {
+	c := NewBuilder().
+		AddRack("r0", 2, map[string]string{"gpu": "true"}).
+		AddRack("r1", 3, nil).
+		AddNode("special", "r1", map[string]string{"ssd": "true"}).
+		Build()
+	if c.N() != 6 {
+		t.Fatalf("N = %d, want 6", c.N())
+	}
+	if got := c.Rack("r0").Count(); got != 2 {
+		t.Errorf("rack r0 size = %d", got)
+	}
+	if got := c.Rack("r1").Count(); got != 4 {
+		t.Errorf("rack r1 size = %d", got)
+	}
+	if c.Rack("nope") != nil {
+		t.Errorf("unknown rack should be nil")
+	}
+	if got := c.WithAttr("gpu", "true").Count(); got != 2 {
+		t.Errorf("gpu nodes = %d", got)
+	}
+	if got := c.WithAttr("ssd", "true").Count(); got != 1 {
+		t.Errorf("ssd nodes = %d", got)
+	}
+	if got := c.WithAttr("none", "x").Count(); got != 0 {
+		t.Errorf("missing attr nodes = %d", got)
+	}
+	if got := c.All().Count(); got != 6 {
+		t.Errorf("all = %d", got)
+	}
+	if n := c.Node(0); n.Rack != "r0" || n.Name != "r0/n0" {
+		t.Errorf("node 0 = %+v", n)
+	}
+	if got := len(c.Racks()); got != 2 {
+		t.Errorf("racks = %v", c.Racks())
+	}
+}
+
+func TestStandardConfigs(t *testing.T) {
+	c := RC256(true)
+	if c.N() != 256 {
+		t.Fatalf("RC256 N = %d", c.N())
+	}
+	if got := c.WithAttr(GPUAttr()).Count(); got != 64 {
+		t.Errorf("RC256 gpu nodes = %d, want 64", got)
+	}
+	if len(c.Racks()) != 8 {
+		t.Errorf("RC256 racks = %d", len(c.Racks()))
+	}
+	c80 := RC80(false)
+	if c80.N() != 80 {
+		t.Fatalf("RC80 N = %d", c80.N())
+	}
+	if got := c80.WithAttr(GPUAttr()).Count(); got != 0 {
+		t.Errorf("homogeneous RC80 gpu nodes = %d, want 0", got)
+	}
+}
+
+func TestPartitionSimple(t *testing.T) {
+	// Universe {0..5}; eqsets {0,1,2} and {2,3} → groups {0,1},{2},{3},{4,5}.
+	u := bitset.New(6)
+	u.Fill()
+	e1 := bitset.FromIndices(6, 0, 1, 2)
+	e2 := bitset.FromIndices(6, 2, 3)
+	p := Partition(u, []*bitset.Set{e1, e2})
+	if len(p.Groups) != 4 {
+		t.Fatalf("groups = %d, want 4", len(p.Groups))
+	}
+	// Cover of e1 must union to exactly e1.
+	for i, es := range []*bitset.Set{e1, e2} {
+		un := bitset.New(6)
+		for _, gi := range p.Cover[i] {
+			un.UnionWith(p.Groups[gi])
+		}
+		if !un.Equal(es) {
+			t.Errorf("cover of eqset %d = %v, want %v", i, un, es)
+		}
+	}
+}
+
+func TestPartitionProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		u := bitset.New(n)
+		u.Fill()
+		k := 1 + r.Intn(5)
+		eqsets := make([]*bitset.Set, k)
+		for i := range eqsets {
+			s := bitset.New(n)
+			for j := 0; j < n; j++ {
+				if r.Intn(3) == 0 {
+					s.Add(j)
+				}
+			}
+			eqsets[i] = s
+		}
+		p := Partition(u, eqsets)
+		// Property 1: groups are disjoint and union to the universe.
+		un := bitset.New(n)
+		total := 0
+		for _, g := range p.Groups {
+			if g.Empty() {
+				return false // no empty groups
+			}
+			if un.Intersects(g) {
+				return false // disjoint
+			}
+			un.UnionWith(g)
+			total += g.Count()
+		}
+		if !un.Equal(u) || total != n {
+			return false
+		}
+		// Property 2: every eqset ∩ universe is an exact union of its cover.
+		for i, es := range eqsets {
+			cov := bitset.New(n)
+			for _, gi := range p.Cover[i] {
+				cov.UnionWith(p.Groups[gi])
+			}
+			if !cov.Equal(es.Intersect(u)) {
+				return false
+			}
+		}
+		// Property 3: every group is entirely inside or outside each eqset.
+		for _, g := range p.Groups {
+			for _, es := range eqsets {
+				ic := g.IntersectCount(es)
+				if ic != 0 && ic != g.Count() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionRestrictedUniverse(t *testing.T) {
+	// Eqsets may reference nodes outside the universe (e.g. busy nodes);
+	// cover must equal the intersection with the universe.
+	u := bitset.FromIndices(8, 0, 1, 2, 3)
+	es := bitset.FromIndices(8, 2, 3, 4, 5)
+	p := Partition(u, []*bitset.Set{es})
+	cov := bitset.New(8)
+	for _, gi := range p.Cover[0] {
+		cov.UnionWith(p.Groups[gi])
+	}
+	want := bitset.FromIndices(8, 2, 3)
+	if !cov.Equal(want) {
+		t.Errorf("cover = %v, want %v", cov, want)
+	}
+}

@@ -1,0 +1,721 @@
+// Package compiler translates STRL expressions into MILP models, following
+// Algorithm 1 of the TetriSched paper, and decodes solver output back into
+// per-leaf resource grants.
+//
+// Time is discretized: leaf Start/Dur are in scheduling quanta relative to
+// the current cycle (start 0 = now), and the plan-ahead window spans slices
+// [0, Horizon). Space is reduced by the equivalence-set partitioner: the
+// cluster is refined against every equivalence set referenced this cycle, so
+// the model tracks integer node *counts* per partition group rather than
+// individual machines. Leaves whose set intersects a single group are
+// presolved away entirely (their partition variable is exactly k·I), which is
+// the dominant case and keeps models small.
+package compiler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tetrisched/internal/bitset"
+	"tetrisched/internal/cluster"
+	"tetrisched/internal/milp"
+	"tetrisched/internal/strl"
+)
+
+// Options configures a compilation.
+type Options struct {
+	// Universe is the cluster size (node count).
+	Universe int
+	// Horizon is the number of time slices in the plan-ahead window; leaves
+	// must start within [0, Horizon). Occupancy beyond the window is
+	// unconstrained, mirroring the paper's bounded plan-ahead.
+	Horizon int64
+	// ReleaseAt[i] is the slice at which node i becomes free (0 = free now).
+	// Nil means every node is free. Entries beyond Horizon keep the node
+	// unavailable for the whole window.
+	ReleaseAt []int64
+	// BusyAt, if non-nil, marks additional per-slice unavailability (e.g.
+	// tentative claims made earlier in a greedy scheduling pass). A node is
+	// available at slice t iff t ≥ ReleaseAt[n] and !BusyAt(n, t).
+	BusyAt func(node int, slice int64) bool
+}
+
+// partVar is one integer partition variable: the node count a leaf draws
+// from one group.
+type partVar struct {
+	group int
+	id    milp.VarID
+}
+
+// leafRecord captures how one STRL leaf was lowered into the model.
+type leafRecord struct {
+	job    int
+	expr   strl.Expr
+	linear bool
+	k      int
+	start  int64
+	dur    int64
+	ind    milp.VarID // controlling indicator (shared along MIN paths)
+	single bool       // presolved: count is k·ind in group
+	group  int        // valid when single
+	parts  []partVar  // valid when !single
+	culled bool       // provably unsatisfiable within the window
+}
+
+// Compiled is the result of compiling a batch of job expressions.
+type Compiled struct {
+	// Model is the MILP to hand to the solver (maximize).
+	Model *milp.Model
+	// Part is the cycle's partitioning of the cluster.
+	Part *cluster.Partitioning
+
+	opts     Options
+	jobs     []strl.Expr
+	jobInd   []milp.VarID
+	leaves   []*leafRecord
+	byExpr   map[strl.Expr]*leafRecord
+	childInd map[strl.Expr]milp.VarID // indicator created for each max/sum child
+	minVar   map[strl.Expr]milp.VarID // value variable of each MIN node
+	avail    [][]int64                // [group][slice]
+	used     map[useKey][]milp.Term
+	objTerm  map[milp.VarID]float64
+}
+
+type useKey struct {
+	group int
+	slice int64
+}
+
+// LeafGrant is a decoded allocation for one leaf: how many nodes it receives
+// from each partition group.
+type LeafGrant struct {
+	Job    int
+	Leaf   strl.Expr
+	Start  int64
+	Dur    int64
+	Counts map[int]int // group index -> node count
+	Total  int
+}
+
+// Compile lowers one STRL expression per pending job into a single MILP.
+// The top level is an implicit SUM across jobs, each with its own indicator,
+// exactly as the scheduler aggregates pending requests (§3.2).
+func Compile(jobs []strl.Expr, opts Options) (*Compiled, error) {
+	if opts.Universe <= 0 {
+		return nil, fmt.Errorf("compiler: universe must be positive")
+	}
+	if opts.Horizon <= 0 {
+		return nil, fmt.Errorf("compiler: horizon must be positive")
+	}
+	if opts.ReleaseAt != nil && len(opts.ReleaseAt) != opts.Universe {
+		return nil, fmt.Errorf("compiler: ReleaseAt has %d entries for %d nodes", len(opts.ReleaseAt), opts.Universe)
+	}
+	for _, j := range jobs {
+		if err := strl.Validate(j); err != nil {
+			return nil, err
+		}
+	}
+
+	// Gather every equivalence set referenced this cycle and partition the
+	// cluster against them.
+	var eqsets []*bitset.Set
+	for _, j := range jobs {
+		for _, l := range strl.Leaves(j) {
+			switch x := l.(type) {
+			case *strl.NCk:
+				eqsets = append(eqsets, x.Set)
+			case *strl.LnCk:
+				eqsets = append(eqsets, x.Set)
+			}
+		}
+	}
+	universe := bitset.New(opts.Universe)
+	universe.Fill()
+	part := cluster.Partition(universe, eqsets)
+
+	c := &Compiled{
+		Model:    milp.NewModel(milp.Maximize),
+		Part:     part,
+		opts:     opts,
+		jobs:     jobs,
+		byExpr:   make(map[strl.Expr]*leafRecord),
+		childInd: make(map[strl.Expr]milp.VarID),
+		minVar:   make(map[strl.Expr]milp.VarID),
+		used:     make(map[useKey][]milp.Term),
+		objTerm:  make(map[milp.VarID]float64),
+	}
+	c.computeAvail()
+
+	// Map each leaf to its equivalence-set cover (aligned with eqsets order).
+	covers := make(map[strl.Expr][]int)
+	{
+		i := 0
+		for _, j := range jobs {
+			for _, l := range strl.Leaves(j) {
+				covers[l] = part.Cover[i]
+				i++
+			}
+		}
+	}
+
+	for jid, job := range jobs {
+		ind := c.Model.AddBinary(fmt.Sprintf("I_j%d", jid), 0)
+		c.jobInd = append(c.jobInd, ind)
+		terms, err := c.gen(jid, job, ind, covers)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range terms {
+			c.objTerm[t.Var] += t.Coef
+		}
+	}
+	for v, coef := range c.objTerm {
+		c.Model.SetObj(v, coef)
+	}
+	// Supply constraints: usage within each (group, slice) cannot exceed the
+	// nodes available there. Constraints that cannot bind are dropped.
+	// Keys are sorted so the emitted model (and thus the chosen optimum
+	// among ties) is deterministic.
+	keys := make([]useKey, 0, len(c.used))
+	for key := range c.used {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].group != keys[b].group {
+			return keys[a].group < keys[b].group
+		}
+		return keys[a].slice < keys[b].slice
+	})
+	for _, key := range keys {
+		terms := c.used[key]
+		limit := c.avail[key.group][key.slice]
+		maxUse := 0.0
+		for _, t := range terms {
+			maxUse += t.Coef * c.Model.Vars[t.Var].Ub
+		}
+		if maxUse <= float64(limit) {
+			continue
+		}
+		c.Model.AddConstraint(
+			fmt.Sprintf("supply_g%d_t%d", key.group, key.slice),
+			terms, milp.LE, float64(limit))
+	}
+	c.used = nil
+	return c, nil
+}
+
+// computeAvail fills avail[group][slice] from node release times.
+func (c *Compiled) computeAvail() {
+	h := c.opts.Horizon
+	c.avail = make([][]int64, len(c.Part.Groups))
+	for g, set := range c.Part.Groups {
+		row := make([]int64, h)
+		set.ForEach(func(n int) bool {
+			rel := int64(0)
+			if c.opts.ReleaseAt != nil {
+				rel = c.opts.ReleaseAt[n]
+			}
+			if rel < 0 {
+				rel = 0
+			}
+			for t := rel; t < h; t++ {
+				if c.opts.BusyAt != nil && c.opts.BusyAt(n, t) {
+					continue
+				}
+				row[t]++
+			}
+			return true
+		})
+		c.avail[g] = row
+	}
+}
+
+// gen is Algorithm 1: it lowers expr under indicator ind, returning the
+// linear objective contribution of the subtree.
+func (c *Compiled) gen(job int, expr strl.Expr, ind milp.VarID, covers map[strl.Expr][]int) ([]milp.Term, error) {
+	switch x := expr.(type) {
+	case *strl.NCk:
+		return c.genNCk(job, x, ind, covers[expr])
+	case *strl.LnCk:
+		return c.genLnCk(job, x, ind, covers[expr])
+	case *strl.Sum:
+		var out []milp.Term
+		var kids []milp.Term
+		for i, kid := range x.Kids {
+			ki := c.Model.AddBinary(fmt.Sprintf("I_j%d_sum%d", job, i), 0)
+			c.childInd[kid] = ki
+			kids = append(kids, milp.Term{Var: ki, Coef: 1})
+			terms, err := c.gen(job, kid, ki, covers)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, terms...)
+		}
+		// Σ I_i ≤ n·I: children activate only if the parent does.
+		kids = append(kids, milp.Term{Var: ind, Coef: -float64(len(x.Kids))})
+		c.Model.AddConstraint(fmt.Sprintf("sum_j%d", job), kids, milp.LE, 0)
+		return out, nil
+	case *strl.Max:
+		var out []milp.Term
+		var kids []milp.Term
+		for i, kid := range x.Kids {
+			ki := c.Model.AddBinary(fmt.Sprintf("I_j%d_max%d", job, i), 0)
+			c.childInd[kid] = ki
+			kids = append(kids, milp.Term{Var: ki, Coef: 1})
+			terms, err := c.gen(job, kid, ki, covers)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, terms...)
+		}
+		// Σ I_i ≤ I: at most one branch, and only if the parent activates.
+		kids = append(kids, milp.Term{Var: ind, Coef: -1})
+		c.Model.AddConstraint(fmt.Sprintf("max_j%d", job), kids, milp.LE, 0)
+		return out, nil
+	case *strl.Min:
+		v := c.Model.AddVar(fmt.Sprintf("V_j%d", job), milp.Continuous, 0, milp.Inf, 0)
+		c.minVar[x] = v
+		for _, kid := range x.Kids {
+			terms, err := c.gen(job, kid, ind, covers) // children share the indicator
+			if err != nil {
+				return nil, err
+			}
+			// V ≤ f_i.
+			con := []milp.Term{{Var: v, Coef: 1}}
+			for _, t := range terms {
+				con = append(con, milp.Term{Var: t.Var, Coef: -t.Coef})
+			}
+			c.Model.AddConstraint(fmt.Sprintf("min_j%d", job), con, milp.LE, 0)
+		}
+		return []milp.Term{{Var: v, Coef: 1}}, nil
+	case *strl.Scale:
+		terms, err := c.gen(job, x.Kid, ind, covers)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]milp.Term, len(terms))
+		for i, t := range terms {
+			out[i] = milp.Term{Var: t.Var, Coef: x.S * t.Coef}
+		}
+		return out, nil
+	case *strl.Barrier:
+		terms, err := c.gen(job, x.Kid, ind, covers)
+		if err != nil {
+			return nil, err
+		}
+		// v·I ≤ f.
+		con := []milp.Term{{Var: ind, Coef: x.V}}
+		for _, t := range terms {
+			con = append(con, milp.Term{Var: t.Var, Coef: -t.Coef})
+		}
+		c.Model.AddConstraint(fmt.Sprintf("barrier_j%d", job), con, milp.LE, 0)
+		return []milp.Term{{Var: ind, Coef: x.V}}, nil
+	}
+	return nil, fmt.Errorf("compiler: unknown expression type %T", expr)
+}
+
+// slices returns the occupied slice range [start, end) clipped to the window,
+// or ok=false if the leaf cannot start inside the window.
+func (c *Compiled) slices(start, dur int64) (int64, int64, bool) {
+	if start < 0 || start >= c.opts.Horizon {
+		return 0, 0, false
+	}
+	end := start + dur
+	if end > c.opts.Horizon {
+		end = c.opts.Horizon
+	}
+	return start, end, true
+}
+
+func (c *Compiled) genNCk(job int, leaf *strl.NCk, ind milp.VarID, cover []int) ([]milp.Term, error) {
+	rec := &leafRecord{job: job, expr: leaf, k: leaf.K, start: leaf.Start, dur: leaf.Dur, ind: ind}
+	c.leaves = append(c.leaves, rec)
+	c.byExpr[leaf] = rec
+
+	s, e, ok := c.slices(leaf.Start, leaf.Dur)
+	// Cull leaves that provably cannot be satisfied: out of window, or not
+	// enough nodes available across the cover during the occupied slices.
+	feasible := ok
+	if ok {
+		total := int64(0)
+		for _, g := range cover {
+			total += c.minAvail(g, s, e)
+		}
+		feasible = total >= int64(leaf.K)
+	}
+	if !feasible {
+		rec.culled = true
+		// The leaf (and anything that requires it) must not activate.
+		c.Model.AddConstraint(fmt.Sprintf("cull_j%d", job),
+			[]milp.Term{{Var: ind, Coef: 1}}, milp.LE, 0)
+		return nil, nil
+	}
+
+	if len(cover) == 1 {
+		// Presolve: the only possible grant is k nodes from this group, so
+		// the partition variable is k·I exactly.
+		rec.single, rec.group = true, cover[0]
+		c.addUse(cover[0], s, e, milp.Term{Var: ind, Coef: float64(leaf.K)})
+		return []milp.Term{{Var: ind, Coef: leaf.Value}}, nil
+	}
+	demand := make([]milp.Term, 0, len(cover)+1)
+	for _, g := range cover {
+		ub := math.Min(float64(leaf.K), float64(c.minAvail(g, s, e)))
+		p := c.Model.AddVar(fmt.Sprintf("P_j%d_g%d_s%d", job, g, leaf.Start), milp.Integer, 0, ub, 0)
+		rec.parts = append(rec.parts, partVar{group: g, id: p})
+		demand = append(demand, milp.Term{Var: p, Coef: 1})
+		c.addUse(g, s, e, milp.Term{Var: p, Coef: 1})
+	}
+	// Demand: Σ P_x = k·I.
+	demand = append(demand, milp.Term{Var: ind, Coef: -float64(leaf.K)})
+	c.Model.AddConstraint(fmt.Sprintf("demand_j%d_s%d", job, leaf.Start), demand, milp.EQ, 0)
+	return []milp.Term{{Var: ind, Coef: leaf.Value}}, nil
+}
+
+func (c *Compiled) genLnCk(job int, leaf *strl.LnCk, ind milp.VarID, cover []int) ([]milp.Term, error) {
+	rec := &leafRecord{job: job, expr: leaf, linear: true, k: leaf.K, start: leaf.Start, dur: leaf.Dur, ind: ind}
+	c.leaves = append(c.leaves, rec)
+	c.byExpr[leaf] = rec
+
+	s, e, ok := c.slices(leaf.Start, leaf.Dur)
+	if !ok {
+		rec.culled = true
+		c.Model.AddConstraint(fmt.Sprintf("cull_j%d", job),
+			[]milp.Term{{Var: ind, Coef: 1}}, milp.LE, 0)
+		return nil, nil
+	}
+	demand := make([]milp.Term, 0, len(cover)+1)
+	var out []milp.Term
+	for _, g := range cover {
+		ub := math.Min(float64(leaf.K), float64(c.minAvail(g, s, e)))
+		p := c.Model.AddVar(fmt.Sprintf("Pl_j%d_g%d_s%d", job, g, leaf.Start), milp.Integer, 0, ub, 0)
+		rec.parts = append(rec.parts, partVar{group: g, id: p})
+		demand = append(demand, milp.Term{Var: p, Coef: 1})
+		c.addUse(g, s, e, milp.Term{Var: p, Coef: 1})
+		out = append(out, milp.Term{Var: p, Coef: leaf.Value / float64(leaf.K)})
+	}
+	// Demand: Σ P_x ≤ k·I.
+	demand = append(demand, milp.Term{Var: ind, Coef: -float64(leaf.K)})
+	c.Model.AddConstraint(fmt.Sprintf("ldemand_j%d_s%d", job, leaf.Start), demand, milp.LE, 0)
+	return out, nil
+}
+
+// minAvail returns the minimum availability of group g over slices [s, e).
+func (c *Compiled) minAvail(g int, s, e int64) int64 {
+	mn := int64(math.MaxInt64)
+	for t := s; t < e; t++ {
+		if c.avail[g][t] < mn {
+			mn = c.avail[g][t]
+		}
+	}
+	if mn == math.MaxInt64 {
+		mn = 0
+	}
+	return mn
+}
+
+func (c *Compiled) addUse(g int, s, e int64, term milp.Term) {
+	for t := s; t < e; t++ {
+		key := useKey{group: g, slice: t}
+		c.used[key] = append(c.used[key], term)
+	}
+}
+
+// Stats summarizes a compiled model, the quantities that drive solver
+// latency in the paper's scalability analysis (§7.3: "partition variables
+// are the most prominent decision variables").
+type Stats struct {
+	Jobs        int
+	Leaves      int
+	CulledLeafs int
+	Groups      int
+	Vars        int
+	IntVars     int
+	Constraints int
+}
+
+// Stats reports the compiled model's size.
+func (c *Compiled) Stats() Stats {
+	s := Stats{
+		Jobs:        len(c.jobs),
+		Leaves:      len(c.leaves),
+		Groups:      len(c.Part.Groups),
+		Vars:        c.Model.NumVars(),
+		IntVars:     c.Model.NumIntVars(),
+		Constraints: c.Model.NumConstraints(),
+	}
+	for _, l := range c.leaves {
+		if l.culled {
+			s.CulledLeafs++
+		}
+	}
+	return s
+}
+
+// JobChosen reports whether job j received any allocation in the solution.
+func (c *Compiled) JobChosen(sol *milp.Solution, j int) bool {
+	for _, g := range c.Decode(sol) {
+		if g.Job == j && g.Total > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Decode converts a solver solution into per-leaf grants. Leaves with no
+// allocation are omitted.
+func (c *Compiled) Decode(sol *milp.Solution) []LeafGrant {
+	var out []LeafGrant
+	for _, rec := range c.leaves {
+		if rec.culled {
+			continue
+		}
+		g := LeafGrant{Job: rec.job, Leaf: rec.expr, Start: rec.start, Dur: rec.dur, Counts: map[int]int{}}
+		if rec.single {
+			n := int(math.Round(sol.Values[rec.ind])) * rec.k
+			if n > 0 {
+				g.Counts[rec.group] = n
+				g.Total = n
+			}
+		} else {
+			for _, pv := range rec.parts {
+				n := int(math.Round(sol.Values[pv.id]))
+				if n > 0 {
+					g.Counts[pv.group] += n
+					g.Total += n
+				}
+			}
+		}
+		if g.Total > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Assignment converts a solution into the strl evaluator's assignment form
+// (leaf → total granted count) for cross-checking the model against STRL
+// semantics.
+func (c *Compiled) Assignment(sol *milp.Solution) strl.Assignment {
+	a := strl.Assignment{}
+	for _, g := range c.Decode(sol) {
+		a[g.Leaf] = g.Total
+	}
+	return a
+}
+
+// SeedGrant builds a full-k grant for the leaf, splitting the count greedily
+// across its partition groups by availability over the leaf's slices. It is
+// used to express "the same choice as last cycle" when warm-starting; the
+// caller combines grants with InitialVector and the solver re-validates
+// feasibility. ok is false for culled or unknown leaves.
+func (c *Compiled) SeedGrant(leaf strl.Expr) (LeafGrant, bool) {
+	rec, found := c.byExpr[leaf]
+	if !found || rec.culled {
+		return LeafGrant{}, false
+	}
+	g := LeafGrant{Job: rec.job, Leaf: leaf, Start: rec.start, Dur: rec.dur, Counts: map[int]int{}}
+	if rec.single {
+		g.Counts[rec.group] = rec.k
+		g.Total = rec.k
+		return g, true
+	}
+	s, e, ok := c.slices(rec.start, rec.dur)
+	if !ok {
+		return LeafGrant{}, false
+	}
+	need := rec.k
+	for _, pv := range rec.parts {
+		if need == 0 {
+			break
+		}
+		take := int(c.minAvail(pv.group, s, e))
+		if take > need {
+			take = need
+		}
+		if take > 0 {
+			g.Counts[pv.group] = take
+			g.Total += take
+			need -= take
+		}
+	}
+	if !rec.linear && g.Total != rec.k {
+		return LeafGrant{}, false
+	}
+	return g, true
+}
+
+// InitialVector builds a candidate solution vector that grants each listed
+// leaf the given per-group counts, activating the indicators along its path.
+// It returns ok=false if the grants cannot be expressed (e.g. a culled leaf).
+//
+// Contract: grants must jointly satisfy MIN subtrees — activating one leaf
+// under a MIN forces its siblings' demands, so partial MIN grants yield
+// infeasible vectors. The scheduler only seeds max-of-leaf job shapes, and
+// the solver re-validates feasibility before accepting any seed, so a bad
+// vector degrades to "no warm start" rather than a wrong schedule.
+func (c *Compiled) InitialVector(grants []LeafGrant) ([]float64, bool) {
+	x := make([]float64, c.Model.NumVars())
+	active := map[strl.Expr]bool{}
+	for _, g := range grants {
+		rec, ok := c.byExpr[g.Leaf]
+		if !ok || rec.culled {
+			return nil, false
+		}
+		if rec.single {
+			if g.Total != rec.k {
+				return nil, false
+			}
+			x[rec.ind] = 1
+		} else {
+			total := 0
+			for _, pv := range rec.parts {
+				n := g.Counts[pv.group]
+				x[pv.id] = float64(n)
+				total += n
+			}
+			if total != g.Total {
+				return nil, false
+			}
+			if !rec.linear {
+				if total != rec.k {
+					return nil, false
+				}
+				x[rec.ind] = 1
+			} else if total > 0 {
+				x[rec.ind] = 1
+			}
+		}
+		active[g.Leaf] = true
+	}
+	// Activate ancestor indicators bottom-up per job.
+	for j, job := range c.jobs {
+		if c.activate(job, active, x) {
+			x[c.jobInd[j]] = 1
+		}
+	}
+	// Set MIN value variables to their implied values: the solver treats the
+	// vector as a candidate point; we rely on Solve's feasibility check, so V
+	// values must be consistent. We recompute them with a second pass.
+	c.setMinVars(x)
+	return x, true
+}
+
+// activate marks indicator variables for subtrees containing active leaves
+// and reports whether e contains any.
+func (c *Compiled) activate(e strl.Expr, active map[strl.Expr]bool, x []float64) bool {
+	switch n := e.(type) {
+	case *strl.NCk, *strl.LnCk:
+		return active[e]
+	case *strl.Max:
+		any := false
+		for _, kid := range n.Kids {
+			if c.activate(kid, active, x) {
+				any = true
+				x[c.childInd[kid]] = 1
+			}
+		}
+		return any
+	case *strl.Min:
+		any := false
+		for _, kid := range n.Kids {
+			if c.activate(kid, active, x) {
+				any = true
+			}
+		}
+		return any
+	case *strl.Sum:
+		any := false
+		for _, kid := range n.Kids {
+			if c.activate(kid, active, x) {
+				any = true
+				x[c.childInd[kid]] = 1
+			}
+		}
+		return any
+	case *strl.Scale:
+		return c.activate(n.Kid, active, x)
+	case *strl.Barrier:
+		return c.activate(n.Kid, active, x)
+	}
+	return false
+}
+
+// setMinVars assigns each MIN's value variable min_i f_i under the current
+// vector by re-walking the trees.
+func (c *Compiled) setMinVars(x []float64) {
+	for _, job := range c.jobs {
+		c.evalInto(job, x)
+	}
+}
+
+// evalInto computes the objective contribution of e under x, storing MIN
+// values into their variables along the way.
+func (c *Compiled) evalInto(e strl.Expr, x []float64) float64 {
+	switch n := e.(type) {
+	case *strl.NCk:
+		rec := c.byExpr[e]
+		if rec == nil || rec.culled {
+			return 0
+		}
+		if x[rec.ind] > 0.5 {
+			if rec.single {
+				return n.Value
+			}
+			total := 0.0
+			for _, pv := range rec.parts {
+				total += x[pv.id]
+			}
+			if int(math.Round(total)) == n.K {
+				return n.Value
+			}
+		}
+		return 0
+	case *strl.LnCk:
+		rec := c.byExpr[e]
+		if rec == nil || rec.culled {
+			return 0
+		}
+		total := 0.0
+		for _, pv := range rec.parts {
+			total += x[pv.id]
+		}
+		return n.Value * total / float64(n.K)
+	case *strl.Max:
+		best := 0.0
+		for _, kid := range n.Kids {
+			if v := c.evalInto(kid, x); v > best {
+				best = v
+			}
+		}
+		return best
+	case *strl.Min:
+		mn := math.Inf(1)
+		for _, kid := range n.Kids {
+			v := c.evalInto(kid, x)
+			if v < mn {
+				mn = v
+			}
+		}
+		if math.IsInf(mn, 1) {
+			mn = 0
+		}
+		x[c.minVar[e]] = mn
+		return mn
+	case *strl.Sum:
+		total := 0.0
+		for _, kid := range n.Kids {
+			total += c.evalInto(kid, x)
+		}
+		return total
+	case *strl.Scale:
+		return n.S * c.evalInto(n.Kid, x)
+	case *strl.Barrier:
+		if c.evalInto(n.Kid, x) >= n.V {
+			return n.V
+		}
+		return 0
+	}
+	return 0
+}

@@ -1,0 +1,154 @@
+package compiler
+
+import (
+	"sort"
+
+	"tetrisched/internal/strl"
+)
+
+// GreedyRound converts an LP relaxation point into an integral candidate by
+// walking jobs in decreasing LP preference and granting each its
+// highest-scoring feasible option against a running capacity ledger. It is
+// handed to the MILP solver as the incumbent heuristic: structure-aware
+// rounding is orders of magnitude cheaper than generic LP dives and gives
+// the branch-and-bound search strong incumbents, which is what lets
+// gap-based termination stop early (§3.2.2).
+//
+// Jobs whose expressions are not a single nCk or a MAX over nCk leaves (the
+// shapes the STRL generator emits) are skipped; the solver re-validates the
+// returned point, so this is purely a heuristic.
+func (c *Compiled) GreedyRound(x []float64) []float64 {
+	// Remaining capacity ledger per (group, slice).
+	remain := make([][]int64, len(c.avail))
+	for g := range c.avail {
+		remain[g] = append([]int64(nil), c.avail[g]...)
+	}
+
+	// Group leaves by job, keeping only greedy-roundable jobs.
+	perJob := make([][]*leafRecord, len(c.jobs))
+	for j, expr := range c.jobs {
+		if !roundable(expr) {
+			continue
+		}
+		for _, l := range strl.Leaves(expr) {
+			rec := c.byExpr[l]
+			if rec != nil && !rec.culled {
+				perJob[j] = append(perJob[j], rec)
+			}
+		}
+	}
+
+	// Job order: LP job-indicator value descending (stable on index).
+	order := make([]int, len(c.jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return x[c.jobInd[order[a]]] > x[c.jobInd[order[b]]]
+	})
+
+	var grants []LeafGrant
+	for _, j := range order {
+		recs := perJob[j]
+		if len(recs) == 0 {
+			continue
+		}
+		// Option order: LP indicator value, then STRL value, descending.
+		sort.SliceStable(recs, func(a, b int) bool {
+			xa, xb := x[recs[a].ind], x[recs[b].ind]
+			if xa != xb {
+				return xa > xb
+			}
+			return leafValue(recs[a].expr) > leafValue(recs[b].expr)
+		})
+		for _, rec := range recs {
+			if g, ok := c.tryGrant(rec, remain); ok {
+				grants = append(grants, g)
+				break
+			}
+		}
+	}
+	if len(grants) == 0 {
+		return nil
+	}
+	vec, ok := c.InitialVector(grants)
+	if !ok {
+		return nil
+	}
+	return vec
+}
+
+// roundable reports whether the job expression has the generator's shape.
+func roundable(e strl.Expr) bool {
+	switch n := e.(type) {
+	case *strl.NCk:
+		return true
+	case *strl.Max:
+		for _, k := range n.Kids {
+			if _, ok := k.(*strl.NCk); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func leafValue(e strl.Expr) float64 {
+	switch l := e.(type) {
+	case *strl.NCk:
+		return l.Value
+	case *strl.LnCk:
+		return l.Value
+	}
+	return 0
+}
+
+// tryGrant attempts to satisfy the leaf's full k from the remaining
+// capacity, committing the usage on success.
+func (c *Compiled) tryGrant(rec *leafRecord, remain [][]int64) (LeafGrant, bool) {
+	s, e, ok := c.slices(rec.start, rec.dur)
+	if !ok {
+		return LeafGrant{}, false
+	}
+	groups := []int{rec.group}
+	if !rec.single {
+		groups = groups[:0]
+		for _, pv := range rec.parts {
+			groups = append(groups, pv.group)
+		}
+	}
+	counts := map[int]int{}
+	need := rec.k
+	for _, g := range groups {
+		if need == 0 {
+			break
+		}
+		avail := int64(1) << 62
+		for t := s; t < e; t++ {
+			if remain[g][t] < avail {
+				avail = remain[g][t]
+			}
+		}
+		take := int(avail)
+		if take > need {
+			take = need
+		}
+		if take > 0 {
+			counts[g] = take
+			need -= take
+		}
+	}
+	if need > 0 {
+		return LeafGrant{}, false
+	}
+	for g, cnt := range counts {
+		for t := s; t < e; t++ {
+			remain[g][t] -= int64(cnt)
+		}
+	}
+	return LeafGrant{
+		Job: rec.job, Leaf: rec.expr, Start: rec.start, Dur: rec.dur,
+		Counts: counts, Total: rec.k,
+	}, true
+}

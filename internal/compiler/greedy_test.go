@@ -1,0 +1,182 @@
+package compiler
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tetrisched/internal/milp"
+	"tetrisched/internal/strl"
+)
+
+func TestGreedyRoundProducesFeasibleIncumbent(t *testing.T) {
+	n := 6
+	gpus := set(n, 0, 1, 2)
+	jobs := []strl.Expr{
+		&strl.Max{Kids: []strl.Expr{
+			&strl.NCk{Set: gpus, K: 3, Start: 0, Dur: 2, Value: 100},
+			&strl.NCk{Set: full(n), K: 3, Start: 0, Dur: 3, Value: 80},
+		}},
+		&strl.Max{Kids: []strl.Expr{
+			&strl.NCk{Set: gpus, K: 3, Start: 0, Dur: 2, Value: 100},
+			&strl.NCk{Set: gpus, K: 3, Start: 2, Dur: 2, Value: 99},
+			&strl.NCk{Set: full(n), K: 3, Start: 0, Dur: 3, Value: 80},
+		}},
+	}
+	c, err := Compile(jobs, Options{Universe: n, Horizon: 5})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	// Feed a fabricated "relaxation" that half-prefers every GPU branch.
+	x := make([]float64, c.Model.NumVars())
+	for i := range x {
+		x[i] = 0.5
+	}
+	cand := c.GreedyRound(x)
+	if cand == nil {
+		t.Fatal("GreedyRound returned nil on satisfiable instance")
+	}
+	if !c.Model.IsFeasible(cand, 1e-6) {
+		t.Fatalf("GreedyRound candidate infeasible")
+	}
+	if obj := c.Model.ObjectiveValue(cand); obj < 179 {
+		// Both jobs schedulable: one on GPUs now, one elsewhere or deferred.
+		t.Errorf("greedy objective = %v, want ≥ 179", obj)
+	}
+}
+
+func TestGreedyRoundSkipsUnroundableShapes(t *testing.T) {
+	n := 4
+	jobs := []strl.Expr{
+		&strl.Min{Kids: []strl.Expr{
+			&strl.NCk{Set: set(n, 0, 1), K: 1, Start: 0, Dur: 1, Value: 5},
+			&strl.NCk{Set: set(n, 2, 3), K: 1, Start: 0, Dur: 1, Value: 5},
+		}},
+		&strl.NCk{Set: full(n), K: 2, Start: 0, Dur: 1, Value: 3},
+	}
+	c, err := Compile(jobs, Options{Universe: n, Horizon: 2})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	x := make([]float64, c.Model.NumVars())
+	cand := c.GreedyRound(x)
+	// The MIN job is skipped; the plain nCk is granted.
+	if cand == nil {
+		t.Fatal("expected a candidate covering the roundable job")
+	}
+	if !c.Model.IsFeasible(cand, 1e-6) {
+		t.Fatalf("candidate infeasible")
+	}
+	if obj := c.Model.ObjectiveValue(cand); math.Abs(obj-3) > 1e-9 {
+		t.Errorf("objective = %v, want 3 (nCk only)", obj)
+	}
+}
+
+func TestGreedyRoundRespectsCapacity(t *testing.T) {
+	n := 3
+	// Three jobs each wanting 2 of 3 nodes at t=0: only one fits.
+	var jobs []strl.Expr
+	for i := 0; i < 3; i++ {
+		jobs = append(jobs, &strl.NCk{Set: full(n), K: 2, Start: 0, Dur: 1, Value: 1})
+	}
+	c, err := Compile(jobs, Options{Universe: n, Horizon: 1})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	x := make([]float64, c.Model.NumVars())
+	cand := c.GreedyRound(x)
+	if cand == nil {
+		t.Fatal("nil candidate")
+	}
+	if !c.Model.IsFeasible(cand, 1e-6) {
+		t.Fatalf("candidate violates supply")
+	}
+	if obj := c.Model.ObjectiveValue(cand); math.Abs(obj-1) > 1e-9 {
+		t.Errorf("objective = %v, want exactly 1", obj)
+	}
+}
+
+// TestSolveWithHeuristicMatchesExact: plugging the heuristic into the solver
+// must not change optimality on exactly-solved instances.
+func TestSolveWithHeuristicMatchesExact(t *testing.T) {
+	n := 4
+	gpus := set(n, 0, 1)
+	jobs := []strl.Expr{
+		&strl.Max{Kids: []strl.Expr{
+			&strl.NCk{Set: gpus, K: 2, Start: 0, Dur: 2, Value: 4},
+			&strl.NCk{Set: full(n), K: 2, Start: 0, Dur: 3, Value: 3},
+		}},
+		&strl.Max{Kids: []strl.Expr{
+			&strl.NCk{Set: gpus, K: 2, Start: 0, Dur: 2, Value: 4},
+			&strl.NCk{Set: gpus, K: 2, Start: 2, Dur: 2, Value: 3.9},
+			&strl.NCk{Set: full(n), K: 2, Start: 0, Dur: 3, Value: 3},
+		}},
+	}
+	c, err := Compile(jobs, Options{Universe: n, Horizon: 5})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	exact, err := milp.Solve(c.Model, milp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withH, err := milp.Solve(c.Model, milp.Options{Heuristic: c.GreedyRound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact.Objective-withH.Objective) > 1e-6 {
+		t.Errorf("heuristic changed the optimum: %v vs %v", withH.Objective, exact.Objective)
+	}
+}
+
+// TestQuickSeedGrantFeasibility: for any compiled batch, granting any single
+// non-culled leaf via SeedGrant + InitialVector yields a model-feasible
+// point — the invariant the scheduler's warm start relies on.
+func TestQuickSeedGrantFeasibility(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		horizon := int64(1 + r.Intn(4))
+		var jobs []strl.Expr
+		for j := 0; j < 1+r.Intn(3); j++ {
+			jobs = append(jobs, randomJob(r, n, horizon))
+		}
+		var rel []int64
+		if r.Intn(2) == 0 {
+			rel = make([]int64, n)
+			for i := range rel {
+				rel[i] = int64(r.Intn(3))
+			}
+		}
+		c, err := Compile(jobs, Options{Universe: n, Horizon: horizon, ReleaseAt: rel})
+		if err != nil {
+			return true // structurally invalid random job; skip
+		}
+		for _, job := range jobs {
+			if !roundable(job) {
+				// Partial grants under MIN subtrees are outside
+				// InitialVector's contract (see its doc comment).
+				continue
+			}
+			for _, l := range strl.Leaves(job) {
+				g, ok := c.SeedGrant(l)
+				if !ok {
+					continue
+				}
+				vec, ok := c.InitialVector([]LeafGrant{g})
+				if !ok {
+					continue // e.g. min-sibling culled; acceptable
+				}
+				if !c.Model.IsFeasible(vec, 1e-6) {
+					t.Logf("seed %d: single-leaf seed infeasible for %s", seed, l)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,644 @@
+// Package core implements the TetriSched scheduler — the paper's primary
+// contribution. Each cycle it aggregates the STRL requests of all pending
+// jobs, compiles them into a single MILP, solves it within a configurable
+// optimality gap, launches the jobs whose chosen start time is now, and
+// throws the rest of the plan away to be re-derived next cycle (adaptive
+// plan-ahead, §3.2.1).
+//
+// The Table 2 ablations are configuration switches: Greedy disables global
+// scheduling (TetriSched-NG: per-job solves in three priority queues), NoHet
+// disables soft-constraint awareness (TetriSched-NH), and PlanAhead=0
+// disables deferred placement (TetriSched-NP, equivalent to alsched).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tetrisched/internal/bitset"
+	"tetrisched/internal/cluster"
+	"tetrisched/internal/compiler"
+	"tetrisched/internal/milp"
+	"tetrisched/internal/randx"
+	"tetrisched/internal/sim"
+	"tetrisched/internal/strl"
+	"tetrisched/internal/strlgen"
+	"tetrisched/internal/workload"
+)
+
+// Config selects the TetriSched variant and solver budget.
+type Config struct {
+	// CyclePeriod is the scheduling cycle in seconds and also the time
+	// quantum of the plan-ahead discretization (paper: 4s).
+	CyclePeriod int64
+	// PlanAhead is the deferred-placement window in seconds; 0 disables
+	// plan-ahead (TetriSched-NP).
+	PlanAhead int64
+	// PlanQuantum is the planning time-slice in seconds; 0 uses CyclePeriod.
+	// Coarser quanta shrink the MILP for long windows at the cost of start
+	// time resolution. Warm starts require PlanQuantum == CyclePeriod (the
+	// shift-by-one-slice assumption) and are disabled otherwise.
+	PlanQuantum int64
+	// Greedy switches to per-job scheduling over three priority FIFO queues
+	// (TetriSched-NG).
+	Greedy bool
+	// NoHet disables heterogeneity awareness in STRL generation
+	// (TetriSched-NH).
+	NoHet bool
+	// Gap is the relative MIP gap the solver may stop at (§3.2.2; paper uses
+	// 10%).
+	Gap float64
+	// SolverTimeLimit bounds each MILP solve's wall-clock time.
+	SolverTimeLimit time.Duration
+	// MaxBatch caps how many pending jobs one global solve aggregates; the
+	// highest-priority jobs are batched first (§5: "TetriSched has the
+	// flexibility of aggregating a subset of the pending jobs").
+	MaxBatch int
+	// DisableWarmStart turns off seeding the solver with the previous
+	// cycle's shifted plan (§3.2.2).
+	DisableWarmStart bool
+	// BEDecay overrides the best-effort value decay horizon in seconds.
+	BEDecay int64
+	// EnablePreemption activates the paper's future-work extension (§7.2):
+	// when an accepted SLO job is at its last feasible start slice and the
+	// MILP could not place it, running best-effort jobs may be killed
+	// (restart semantics) to free capacity. Off by default, matching the
+	// paper's evaluated configuration.
+	EnablePreemption bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.CyclePeriod <= 0 {
+		c.CyclePeriod = 4
+	}
+	if c.PlanQuantum <= 0 {
+		c.PlanQuantum = c.CyclePeriod
+	}
+	if c.Gap <= 0 {
+		c.Gap = 0.1
+	}
+	if c.SolverTimeLimit <= 0 {
+		c.SolverTimeLimit = 2 * time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 48
+	}
+	return c
+}
+
+// Name returns the Table 2 variant name for the configuration.
+func (c Config) Name() string {
+	switch {
+	case c.Greedy:
+		return "TetriSched-NG"
+	case c.NoHet:
+		return "TetriSched-NH"
+	case c.PlanAhead <= 0:
+		return "TetriSched-NP"
+	default:
+		return "TetriSched"
+	}
+}
+
+// runInfo tracks the scheduler's belief about a running job.
+type runInfo struct {
+	job    *workload.Job
+	nodes  []int
+	estEnd int64 // believed completion; bumped forward when overrun (§7.1)
+}
+
+// planChoice remembers a deferred placement decision for warm-starting the
+// next cycle.
+type planChoice struct {
+	key   string
+	slice int64
+}
+
+// Scheduler is a TetriSched instance implementing sim.Scheduler.
+type Scheduler struct {
+	c       *cluster.Cluster
+	cfg     Config
+	gen     *strlgen.Generator
+	rng     *randx.Source // node tie-breaking within equivalence groups
+	pending []*workload.Job
+	running map[int]*runInfo
+	lastJob map[int]planChoice
+
+	// SolveStats accumulates solver telemetry for the scalability analysis.
+	TotalSolves int
+	TotalNodes  int
+}
+
+var _ sim.Scheduler = (*Scheduler)(nil)
+
+// New creates a TetriSched scheduler for the cluster.
+func New(c *cluster.Cluster, cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	gcfg := strlgen.Default(cfg.PlanQuantum, cfg.PlanAhead)
+	gcfg.NoHeterogeneity = cfg.NoHet
+	if cfg.BEDecay > 0 {
+		gcfg.BEDecay = cfg.BEDecay
+	}
+	return &Scheduler{
+		c:       c,
+		cfg:     cfg,
+		gen:     strlgen.New(c, gcfg),
+		rng:     randx.New(1), // fixed seed: runs stay deterministic
+		running: make(map[int]*runInfo),
+		lastJob: make(map[int]planChoice),
+	}
+}
+
+// Name implements sim.Scheduler.
+func (s *Scheduler) Name() string { return s.cfg.Name() }
+
+// Submit implements sim.Scheduler.
+func (s *Scheduler) Submit(now int64, j *workload.Job) {
+	s.pending = append(s.pending, j)
+}
+
+// JobFinished implements sim.Scheduler.
+func (s *Scheduler) JobFinished(now int64, j *workload.Job) {
+	delete(s.running, j.ID)
+}
+
+// priority orders pending jobs into the three queues of §6.3: accepted SLO,
+// SLO without reservation, best effort — each FIFO by arrival.
+func priority(j *workload.Job) int {
+	switch {
+	case j.Class == workload.SLO && j.Reserved:
+		return 0
+	case j.Class == workload.SLO:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// orderedPending returns pending jobs in priority-then-arrival order.
+func (s *Scheduler) orderedPending() []*workload.Job {
+	out := s.pending // insertion order reflects arrival
+	sorted := make([]*workload.Job, 0, len(out))
+	for class := 0; class <= 2; class++ {
+		for _, j := range out {
+			if priority(j) == class {
+				sorted = append(sorted, j)
+			}
+		}
+	}
+	return sorted
+}
+
+// removePending deletes a job from the pending queue.
+func (s *Scheduler) removePending(j *workload.Job) {
+	for i, p := range s.pending {
+		if p.ID == j.ID {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// releaseSlices computes each node's believed release slice from the running
+// set, bumping overrun estimates forward one cycle (mis-estimate handling).
+func (s *Scheduler) releaseSlices(now int64) []int64 {
+	rel := make([]int64, s.c.N())
+	for _, r := range s.running {
+		if r.estEnd <= now {
+			r.estEnd = now + s.cfg.CyclePeriod
+		}
+		slices := (r.estEnd - now + s.cfg.PlanQuantum - 1) / s.cfg.PlanQuantum
+		for _, n := range r.nodes {
+			rel[n] = slices
+		}
+	}
+	return rel
+}
+
+// Cycle implements sim.Scheduler.
+func (s *Scheduler) Cycle(now int64, free *bitset.Set) sim.CycleResult {
+	var res sim.CycleResult
+	if len(s.pending) == 0 {
+		return res
+	}
+	// Generate STRL for every pending job; jobs with no remaining value are
+	// culled (counted as SLO misses).
+	ordered := s.orderedPending()
+	reqs := make([]*strlgen.Request, 0, len(ordered))
+	for _, j := range ordered {
+		req := s.gen.Generate(now, j)
+		if req == nil {
+			res.Dropped = append(res.Dropped, j)
+			s.removePending(j)
+			delete(s.lastJob, j.ID)
+			continue
+		}
+		reqs = append(reqs, req)
+	}
+	if len(reqs) == 0 {
+		return res
+	}
+	if s.cfg.Greedy {
+		s.greedyCycle(now, free, reqs, &res)
+	} else {
+		s.globalCycle(now, free, reqs, &res)
+	}
+	return res
+}
+
+// globalCycle aggregates all pending requests into one MILP (§5).
+func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Request, res *sim.CycleResult) {
+	if len(reqs) > s.cfg.MaxBatch {
+		reqs = reqs[:s.cfg.MaxBatch]
+	}
+	jobExprs := make([]strl.Expr, len(reqs))
+	for i, r := range reqs {
+		jobExprs[i] = r.Expr
+	}
+	rel := s.releaseSlices(now)
+	comp, err := compiler.Compile(jobExprs, compiler.Options{
+		Universe:  s.c.N(),
+		Horizon:   s.horizon(),
+		ReleaseAt: rel,
+	})
+	if err != nil {
+		// Should be impossible for generated expressions; fail safe by
+		// making no decisions this cycle.
+		return
+	}
+	// Warm start: re-propose last cycle's deferred choices, shifted one
+	// slice toward the present (only valid when the quantum equals the
+	// cycle period).
+	var seed []float64
+	if !s.cfg.DisableWarmStart && s.cfg.PlanQuantum == s.cfg.CyclePeriod {
+		var grants []compiler.LeafGrant
+		for i, r := range reqs {
+			pc, ok := s.lastJob[r.Job.ID]
+			if !ok {
+				continue
+			}
+			want := pc.slice - 1
+			if want < 0 {
+				continue
+			}
+			for _, o := range r.Options {
+				if o.Key == pc.key && o.StartSlice == want {
+					if g, ok := comp.SeedGrant(o.Leaf); ok {
+						g.Job = i
+						grants = append(grants, g)
+					}
+					break
+				}
+			}
+		}
+		if len(grants) > 0 {
+			if v, ok := comp.InitialVector(grants); ok {
+				seed = v
+			}
+		}
+	}
+	// Plan choices are valid for exactly one cycle (the shift-by-one-slice
+	// assumption); clear them now and re-record whatever this solve defers.
+	for _, r := range reqs {
+		delete(s.lastJob, r.Job.ID)
+	}
+	t0 := time.Now()
+	sol, err := milp.Solve(comp.Model, milp.Options{
+		Gap:             s.cfg.Gap,
+		TimeLimit:       s.cfg.SolverTimeLimit,
+		InitialSolution: seed,
+		Heuristic:       comp.GreedyRound,
+	})
+	res.SolverLatency += time.Since(t0)
+	s.TotalSolves++
+	if err != nil || sol.Values == nil {
+		// Solver produced nothing inside its budget (possible under extreme
+		// backlog); fall back to greedy value-ordered packing so the cluster
+		// never sits idle with pending work.
+		s.fallbackPack(now, free, reqs, res)
+		return
+	}
+	s.TotalNodes += sol.Nodes
+
+	working := free.Clone()
+	granted := make(map[int]bool)
+	for _, g := range comp.Decode(sol) {
+		req := reqs[g.Job]
+		opt := req.OptionFor(g.Leaf)
+		if opt == nil {
+			continue
+		}
+		granted[req.Job.ID] = true
+		if g.Start > 0 {
+			s.lastJob[req.Job.ID] = planChoice{key: opt.Key, slice: g.Start}
+			continue
+		}
+		nodes := s.pickNodes(comp, g, working, nil, 0)
+		if nodes == nil {
+			continue // extraction failed; stay pending and replan
+		}
+		s.launch(now, req.Job, nodes, opt, res)
+	}
+	if s.cfg.EnablePreemption {
+		s.preemptRescue(now, working, reqs, granted, res)
+	}
+}
+
+// preemptRescue is the optional preemption extension: an accepted SLO job
+// whose *only* remaining feasible start is this cycle, and which the solver
+// could not place, may evict running best-effort work. Victims lose all
+// progress and re-enter the pending queue.
+func (s *Scheduler) preemptRescue(now int64, working *bitset.Set, reqs []*strlgen.Request, granted map[int]bool, res *sim.CycleResult) {
+	// Jobs launched earlier in this same cycle are not yet running from the
+	// driver's perspective and must not be chosen as victims.
+	launchedNow := make(map[int]bool, len(res.Decisions))
+	for _, d := range res.Decisions {
+		launchedNow[d.Job.ID] = true
+	}
+	for _, req := range reqs {
+		j := req.Job
+		if granted[j.ID] || priority(j) != 0 {
+			continue
+		}
+		lastChance := true
+		for _, o := range req.Options {
+			if o.StartSlice > 0 {
+				lastChance = false
+				break
+			}
+		}
+		if !lastChance {
+			continue
+		}
+		// Pick the highest-value start-now option that preemption can cover.
+		for _, o := range req.Options {
+			set := o.Leaf.Set
+			freeIn := set.IntersectCount(working)
+			if freeIn >= j.K {
+				break // placeable without preemption; solver will get it next cycle
+			}
+			// Collect best-effort victims whose nodes intersect the set,
+			// youngest first (least progress wasted).
+			var victims []*runInfo
+			for _, r := range s.running {
+				if r.job.Class == workload.BestEffort && !launchedNow[r.job.ID] {
+					victims = append(victims, r)
+				}
+			}
+			sort.Slice(victims, func(a, b int) bool {
+				if victims[a].estEnd != victims[b].estEnd {
+					return victims[a].estEnd > victims[b].estEnd
+				}
+				return victims[a].job.ID > victims[b].job.ID
+			})
+			need := j.K - freeIn
+			var chosen []*runInfo
+			for _, v := range victims {
+				if need <= 0 {
+					break
+				}
+				inSet := 0
+				for _, n := range v.nodes {
+					if set.Contains(n) {
+						inSet++
+					}
+				}
+				if inSet > 0 {
+					chosen = append(chosen, v)
+					need -= inSet
+				}
+			}
+			if need > 0 {
+				continue // even full preemption cannot cover this option
+			}
+			for _, v := range chosen {
+				res.Preempted = append(res.Preempted, v.job)
+				delete(s.running, v.job.ID)
+				for _, n := range v.nodes {
+					working.Add(n)
+				}
+				s.pending = append(s.pending, v.job) // re-queue for restart
+			}
+			nodes := make([]int, 0, j.K)
+			set.Intersect(working).ForEach(func(n int) bool {
+				nodes = append(nodes, n)
+				return len(nodes) < j.K
+			})
+			for _, n := range nodes {
+				working.Remove(n)
+			}
+			s.launch(now, j, nodes, o, res)
+			break
+		}
+	}
+}
+
+// greedyCycle is TetriSched-NG: one MILP per job, highest priority first,
+// with earlier jobs' tentative space-time claims excluded from later solves.
+func (s *Scheduler) greedyCycle(now int64, free *bitset.Set, reqs []*strlgen.Request, res *sim.CycleResult) {
+	rel := s.releaseSlices(now)
+	type claim struct {
+		node int
+		s, e int64
+	}
+	var claims []claim
+	claimed := func(n int, t int64) bool {
+		for _, c := range claims {
+			if c.node == n && t >= c.s && t < c.e {
+				return true
+			}
+		}
+		return false
+	}
+	working := free.Clone()
+	for _, req := range reqs {
+		comp, err := compiler.Compile([]strl.Expr{req.Expr}, compiler.Options{
+			Universe:  s.c.N(),
+			Horizon:   s.horizon(),
+			ReleaseAt: rel,
+			BusyAt:    claimed,
+		})
+		if err != nil {
+			continue
+		}
+		t0 := time.Now()
+		sol, err := milp.Solve(comp.Model, milp.Options{
+			Gap:       s.cfg.Gap,
+			TimeLimit: s.cfg.SolverTimeLimit,
+			Heuristic: comp.GreedyRound,
+		})
+		res.SolverLatency += time.Since(t0)
+		s.TotalSolves++
+		if err != nil || sol.Values == nil {
+			continue
+		}
+		s.TotalNodes += sol.Nodes
+		for _, g := range comp.Decode(sol) {
+			opt := req.OptionFor(g.Leaf)
+			if opt == nil {
+				continue
+			}
+			end := g.Start + g.Dur
+			if g.Start == 0 {
+				nodes := s.pickNodes(comp, g, working, claimed, end)
+				if nodes == nil {
+					continue
+				}
+				s.launch(now, req.Job, nodes, opt, res)
+				for _, n := range nodes {
+					claims = append(claims, claim{node: n, s: 0, e: end})
+				}
+			} else {
+				// Tentatively claim concrete nodes for the deferred start so
+				// later (lower-priority) jobs plan around them.
+				nodes := s.pickDeferred(comp, g, rel, claimed)
+				for _, n := range nodes {
+					claims = append(claims, claim{node: n, s: g.Start, e: end})
+				}
+			}
+		}
+	}
+}
+
+// fallbackPack launches jobs greedily in priority order on their best
+// start-now option; used only when the MILP solver returns no solution
+// within its budget.
+func (s *Scheduler) fallbackPack(now int64, free *bitset.Set, reqs []*strlgen.Request, res *sim.CycleResult) {
+	working := free.Clone()
+	for _, req := range reqs {
+		var best *strlgen.Option
+		for _, o := range req.Options {
+			if o.StartSlice != 0 {
+				continue
+			}
+			// The leaf's K is the option's gang width (elastic options offer
+			// several widths).
+			if o.Leaf.Set.IntersectCount(working) < o.Leaf.K {
+				continue
+			}
+			if best == nil || o.Leaf.Value > best.Leaf.Value {
+				best = o
+			}
+		}
+		if best == nil {
+			continue
+		}
+		nodes := make([]int, 0, best.Leaf.K)
+		avail := best.Leaf.Set.Intersect(working)
+		avail.ForEach(func(n int) bool {
+			nodes = append(nodes, n)
+			return len(nodes) < best.Leaf.K
+		})
+		for _, n := range nodes {
+			working.Remove(n)
+		}
+		s.launch(now, req.Job, nodes, best, res)
+	}
+}
+
+// launch emits a decision and updates internal running state.
+func (s *Scheduler) launch(now int64, j *workload.Job, nodes []int, opt *strlgen.Option, res *sim.CycleResult) {
+	res.Decisions = append(res.Decisions, sim.Decision{Job: j, Nodes: nodes})
+	s.running[j.ID] = &runInfo{job: j, nodes: nodes, estEnd: now + opt.EstDur}
+	s.removePending(j)
+	delete(s.lastJob, j.ID)
+}
+
+// pickNodes selects concrete free nodes for a start-now grant: from each
+// partition group, nodes that are free now and (for greedy) unclaimed for the
+// whole occupancy interval.
+func (s *Scheduler) pickNodes(comp *compiler.Compiled, g compiler.LeafGrant, working *bitset.Set, claimed func(int, int64) bool, end int64) []int {
+	nodes := make([]int, 0, g.Total)
+	for _, group := range sortedGroups(g.Counts) {
+		count := g.Counts[group]
+		var candidates []int
+		comp.Part.Groups[group].ForEach(func(n int) bool {
+			if !working.Contains(n) {
+				return true
+			}
+			if claimed != nil {
+				for t := int64(0); t < end; t++ {
+					if claimed(n, t) {
+						return true
+					}
+				}
+			}
+			candidates = append(candidates, n)
+			return true
+		})
+		if len(candidates) < count {
+			return nil // insufficient concrete nodes; replan next cycle
+		}
+		// Nodes within a group are interchangeable by construction; pick a
+		// pseudo-random subset so placement quality outside the guaranteed
+		// equivalence set (e.g. accidental rack locality of an "anywhere"
+		// fallback) carries no systematic bias.
+		s.rng.Shuffle(candidates)
+		nodes = append(nodes, candidates[:count]...)
+	}
+	for _, n := range nodes {
+		working.Remove(n)
+	}
+	return nodes
+}
+
+// pickDeferred selects concrete nodes free throughout a future interval for
+// a tentative greedy claim; best effort (may return fewer than requested).
+func (s *Scheduler) pickDeferred(comp *compiler.Compiled, g compiler.LeafGrant, rel []int64, claimed func(int, int64) bool) []int {
+	end := g.Start + g.Dur
+	var nodes []int
+	for _, group := range sortedGroups(g.Counts) {
+		count := g.Counts[group]
+		set := comp.Part.Groups[group]
+		set.ForEach(func(n int) bool {
+			if count == 0 {
+				return false
+			}
+			if rel[n] > g.Start {
+				return true
+			}
+			for t := g.Start; t < end; t++ {
+				if claimed(n, t) {
+					return true
+				}
+			}
+			nodes = append(nodes, n)
+			count--
+			return true
+		})
+	}
+	return nodes
+}
+
+// sortedGroups returns the group indices of a grant in ascending order so
+// node selection is deterministic.
+func sortedGroups(counts map[int]int) []int {
+	out := make([]int, 0, len(counts))
+	for g := range counts {
+		out = append(out, g)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// horizon returns the plan-ahead window size in slices (≥1).
+func (s *Scheduler) horizon() int64 {
+	h := s.cfg.PlanAhead / s.cfg.PlanQuantum
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// Pending returns the number of queued jobs (for tests and telemetry).
+func (s *Scheduler) Pending() int { return len(s.pending) }
+
+// Running returns the number of jobs the scheduler believes are running.
+func (s *Scheduler) Running() int { return len(s.running) }
+
+// String describes the scheduler.
+func (s *Scheduler) String() string {
+	return fmt.Sprintf("%s{cycle=%ds planAhead=%ds gap=%.0f%%}",
+		s.Name(), s.cfg.CyclePeriod, s.cfg.PlanAhead, 100*s.cfg.Gap)
+}

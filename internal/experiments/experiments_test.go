@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tetrisched/internal/cluster"
+	"tetrisched/internal/core"
+	"tetrisched/internal/metrics"
+	"tetrisched/internal/workload"
+)
+
+func TestTables(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"GR_SLO", "GR_MIX", "GS_MIX", "GS_HET", "100%", "75%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := Table2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TetriSched-NH", "TetriSched-NG", "TetriSched-NP"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+}
+
+func TestRunOneAndAveraged(t *testing.T) {
+	sc := Bench()
+	c := cluster.RC80(false)
+	mix := workload.GSMIX(sc.Jobs)
+	sum, err := RunOne(c, mix, 1, tetri(sc), sc.CyclePeriod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.NumSLO+sum.NumBE != sc.Jobs {
+		t.Errorf("job accounting: SLO=%d BE=%d, want total %d", sum.NumSLO, sum.NumBE, sc.Jobs)
+	}
+	avg, err := Averaged(c, mix, sc, RayonCS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Scheduler != "Rayon/CS" {
+		t.Errorf("scheduler name = %q", avg.Scheduler)
+	}
+}
+
+// TestFig9BenchScale exercises the full Fig 9 code path (three schedulers ×
+// error sweep) at the benchmark scale and sanity-checks the output format.
+func TestFig9BenchScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation sweep")
+	}
+	var buf bytes.Buffer
+	if err := Fig9(&buf, Bench()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig 9(a)", "Fig 9(d)", "TetriSched-NH", "Rayon/CS", "-50", "+50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig 9 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVariantBuilders(t *testing.T) {
+	sc := Bench()
+	b := variant(sc, func(c *core.Config) { c.Greedy = true })
+	if b.Name != "TetriSched-NG" {
+		t.Errorf("variant name = %q", b.Name)
+	}
+	c := cluster.RC80(false)
+	s := b.Build(c, nil)
+	if s.Name() != "TetriSched-NG" {
+		t.Errorf("built scheduler name = %q", s.Name())
+	}
+}
+
+func TestTSVExport(t *testing.T) {
+	dir := t.TempDir()
+	SetTSVDir(dir)
+	defer SetTSVDir("")
+	s := newSeries("err(%)", []string{"A", "B"})
+	s.add("-50", metrics.Summary{Scheduler: "A", SLOAll: 10})
+	s.add("-50", metrics.Summary{Scheduler: "B", SLOAll: 20})
+	s.add("+0", metrics.Summary{Scheduler: "A", SLOAll: 30})
+	var buf bytes.Buffer
+	s.printMetric(&buf, "Fig 6(a) — SLO attainment, all SLO jobs (%)", sloAll, "%")
+	data, err := os.ReadFile(filepath.Join(dir, "fig6a.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{"err(%)\tA\tB", "-50\t10.000\t20.000", "+0\t30.000\t"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TSV missing %q:\n%s", want, out)
+		}
+	}
+}

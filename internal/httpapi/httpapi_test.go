@@ -1,0 +1,138 @@
+package httpapi
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tetrisched/internal/cluster"
+	"tetrisched/internal/core"
+	"tetrisched/internal/metrics"
+	"tetrisched/internal/sim"
+	"tetrisched/internal/workload"
+)
+
+// TestEndToEndOverHTTP runs the full simulation harness against a TetriSched
+// daemon living behind a real HTTP server: the §3.3 separation of allocation
+// policy (daemon) from cluster/job state management (caller), exercised end
+// to end.
+func TestEndToEndOverHTTP(t *testing.T) {
+	c := cluster.RC80(true)
+	daemon := NewServer(core.New(c, core.Config{PlanAhead: 48}), c.N())
+	ts := httptest.NewServer(daemon.Handler())
+	defer ts.Close()
+
+	jobs, err := workload.Generate(workload.GSHET(20), c, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(ts.URL)
+	res, err := sim.Run(sim.Config{Cluster: c, Jobs: jobs, Scheduler: client})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalled {
+		t.Fatal("remote-scheduler run stalled")
+	}
+	sum := metrics.Summarize(client.Name(), res, c.N())
+	if sum.Incomplete > 0 {
+		t.Errorf("%d jobs incomplete over HTTP", sum.Incomplete)
+	}
+	if !strings.Contains(client.Name(), "TetriSched") {
+		t.Errorf("client name = %q", client.Name())
+	}
+	t.Log(sum.String())
+}
+
+// TestRemoteMatchesLocal: the same workload scheduled locally and through
+// the HTTP boundary must produce identical schedules (the transport is
+// policy-free).
+func TestRemoteMatchesLocal(t *testing.T) {
+	c := cluster.RC80(true)
+	mk := func() []*workload.Job {
+		jobs, err := workload.Generate(workload.GSHET(15), c, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jobs
+	}
+
+	local, err := sim.Run(sim.Config{Cluster: c, Jobs: mk(), Scheduler: core.New(c, core.Config{PlanAhead: 48})})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	daemon := NewServer(core.New(c, core.Config{PlanAhead: 48}), c.N())
+	ts := httptest.NewServer(daemon.Handler())
+	defer ts.Close()
+	remote, err := sim.Run(sim.Config{Cluster: c, Jobs: mk(), Scheduler: NewClient(ts.URL)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range local.Stats {
+		l, r := &local.Stats[i], &remote.Stats[i]
+		if l.Start != r.Start || l.Finish != r.Finish || l.Dropped != r.Dropped {
+			t.Fatalf("job %d diverged across the HTTP boundary: local{%d,%d,%v} remote{%d,%d,%v}",
+				i, l.Start, l.Finish, l.Dropped, r.Start, r.Finish, r.Dropped)
+		}
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	c := cluster.RC80(false)
+	daemon := NewServer(core.New(c, core.Config{PlanAhead: 48}), c.N())
+	ts := httptest.NewServer(daemon.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	// Bad class rejected.
+	if err := client.post("/v1/jobs", &JobMsg{ID: 1, Class: "??", Type: "GPU", K: 1, BaseRuntime: 1}, nil); err == nil {
+		t.Errorf("bad class accepted")
+	}
+	// Duplicate submission rejected.
+	good := JobMsg{ID: 2, Class: "BE", Type: "Unconstrained", K: 1, BaseRuntime: 10, Slowdown: 1}
+	if err := client.post("/v1/jobs", &good, nil); err != nil {
+		t.Fatalf("good job rejected: %v", err)
+	}
+	if err := client.post("/v1/jobs", &good, nil); err == nil {
+		t.Errorf("duplicate accepted")
+	}
+	// Unknown completion.
+	if err := client.post("/v1/completions", &CompletionMsg{JobID: 99}, nil); err == nil {
+		t.Errorf("unknown completion accepted")
+	}
+	// Out-of-range node in cycle.
+	if err := client.post("/v1/cycle", &CycleRequest{Now: 0, Free: []int{9999}}, nil); err == nil {
+		t.Errorf("bad free list accepted")
+	}
+	// GET on POST-only endpoint.
+	if err := client.get("/v1/jobs", &struct{}{}); err == nil {
+		t.Errorf("GET on /v1/jobs accepted")
+	}
+	// Status works.
+	var st StatusResponse
+	if err := client.get("/v1/status", &st); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.Universe != c.N() || st.Pending != 1 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestJobMsgRoundTrip(t *testing.T) {
+	j := &workload.Job{
+		ID: 7, Class: workload.SLO, Type: workload.MPI, Submit: 100, K: 8,
+		MinK: 2, BaseRuntime: 60, Slowdown: 1.5, Deadline: 500, EstErr: -0.2, Reserved: true,
+		DataNodes: []int{1, 2, 3},
+	}
+	msg := FromJob(j)
+	back, err := msg.ToJob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, j) {
+		t.Errorf("round trip: %+v vs %+v", back, j)
+	}
+}

@@ -1,0 +1,259 @@
+// Package httpapi exposes a TetriSched scheduler over HTTP/JSON, playing
+// the role of the Apache Thrift RPC interface between the YARN proxy
+// scheduler and the TetriSched daemon in the paper's integration (§3.3).
+// The interface mirrors the paper's three responsibilities: (a) adding jobs
+// to the pending queue, (b) communicating allocation decisions back, and
+// (c) signaling job completion. Resource allocation policy stays in the
+// daemon; cluster and job state management stays with the caller.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"tetrisched/internal/bitset"
+	"tetrisched/internal/sim"
+	"tetrisched/internal/workload"
+)
+
+// JobMsg is the wire form of a job submission.
+type JobMsg struct {
+	ID          int     `json:"id"`
+	Class       string  `json:"class"` // "SLO" | "BE"
+	Type        string  `json:"type"`  // "Unconstrained" | "GPU" | "MPI" | "Elastic"
+	Submit      int64   `json:"submit"`
+	K           int     `json:"k"`
+	MinK        int     `json:"min_k,omitempty"`
+	BaseRuntime int64   `json:"base_runtime"`
+	Slowdown    float64 `json:"slowdown"`
+	Deadline    int64   `json:"deadline,omitempty"`
+	EstErr      float64 `json:"est_err,omitempty"`
+	DataNodes   []int   `json:"data_nodes,omitempty"`
+	Priority    float64 `json:"priority,omitempty"`
+	Reserved    bool    `json:"reserved"`
+}
+
+// ToJob converts the wire form to a workload.Job.
+func (m *JobMsg) ToJob() (*workload.Job, error) {
+	j := &workload.Job{
+		ID: m.ID, Submit: m.Submit, K: m.K, MinK: m.MinK,
+		BaseRuntime: m.BaseRuntime, Slowdown: m.Slowdown,
+		Deadline: m.Deadline, EstErr: m.EstErr, Reserved: m.Reserved,
+		DataNodes: m.DataNodes, Priority: m.Priority,
+	}
+	switch m.Class {
+	case "SLO":
+		j.Class = workload.SLO
+	case "BE":
+		j.Class = workload.BestEffort
+	default:
+		return nil, fmt.Errorf("httpapi: unknown class %q", m.Class)
+	}
+	switch m.Type {
+	case "Unconstrained":
+		j.Type = workload.Unconstrained
+	case "GPU":
+		j.Type = workload.GPU
+	case "MPI":
+		j.Type = workload.MPI
+	case "Elastic":
+		j.Type = workload.Elastic
+	case "DataLocal":
+		j.Type = workload.DataLocal
+	default:
+		return nil, fmt.Errorf("httpapi: unknown type %q", m.Type)
+	}
+	if j.K <= 0 || j.BaseRuntime <= 0 {
+		return nil, fmt.Errorf("httpapi: job %d: invalid k=%d runtime=%d", j.ID, j.K, j.BaseRuntime)
+	}
+	return j, nil
+}
+
+// FromJob converts a job to its wire form.
+func FromJob(j *workload.Job) JobMsg {
+	return JobMsg{
+		ID: j.ID, Class: j.Class.String(), Type: j.Type.String(),
+		Submit: j.Submit, K: j.K, MinK: j.MinK,
+		BaseRuntime: j.BaseRuntime, Slowdown: j.Slowdown,
+		Deadline: j.Deadline, EstErr: j.EstErr, Reserved: j.Reserved,
+		DataNodes: j.DataNodes, Priority: j.Priority,
+	}
+}
+
+// CycleRequest asks the daemon to run one scheduling cycle.
+type CycleRequest struct {
+	Now int64 `json:"now"`
+	// Free lists the IDs of currently idle nodes (ground truth owned by the
+	// resource manager, exactly as YARN owns NodeManager state).
+	Free []int `json:"free"`
+}
+
+// DecisionMsg is one allocation decision.
+type DecisionMsg struct {
+	JobID int   `json:"job_id"`
+	Nodes []int `json:"nodes"`
+}
+
+// CycleResponse carries the cycle's outcome.
+type CycleResponse struct {
+	Decisions []DecisionMsg `json:"decisions"`
+	Dropped   []int         `json:"dropped,omitempty"`
+	Preempted []int         `json:"preempted,omitempty"`
+	// SolverMillis is the MILP time spent this cycle.
+	SolverMillis float64 `json:"solver_millis"`
+}
+
+// CompletionMsg signals that a job finished and its nodes are free.
+type CompletionMsg struct {
+	JobID int   `json:"job_id"`
+	Now   int64 `json:"now"`
+}
+
+// StatusResponse summarizes daemon state.
+type StatusResponse struct {
+	Scheduler string `json:"scheduler"`
+	Pending   int    `json:"pending"`
+	Running   int    `json:"running"`
+	Universe  int    `json:"universe"`
+}
+
+// Server wraps a scheduler behind the HTTP interface. It serializes all
+// scheduler access, mirroring the single-threaded TetriSched daemon.
+type Server struct {
+	mu       sync.Mutex
+	sched    sim.Scheduler
+	universe int
+	jobs     map[int]*workload.Job
+	running  map[int]bool
+}
+
+// NewServer wraps sched; universe is the cluster size (node ID bound).
+func NewServer(sched sim.Scheduler, universe int) *Server {
+	return &Server{
+		sched:    sched,
+		universe: universe,
+		jobs:     make(map[int]*workload.Job),
+		running:  make(map[int]bool),
+	}
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/cycle", s.handleCycle)
+	mux.HandleFunc("/v1/completions", s.handleCompletion)
+	mux.HandleFunc("/v1/status", s.handleStatus)
+	return mux
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	http.Error(w, err.Error(), code)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing more to do.
+		_ = err
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var msg JobMsg
+	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := msg.ToJob()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.jobs[job.ID]; dup {
+		writeErr(w, http.StatusConflict, fmt.Errorf("httpapi: duplicate job %d", job.ID))
+		return
+	}
+	s.jobs[job.ID] = job
+	s.sched.Submit(job.Submit, job)
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (s *Server) handleCycle(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req CycleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	free := bitset.New(s.universe)
+	for _, n := range req.Free {
+		if n < 0 || n >= s.universe {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("httpapi: node %d out of range", n))
+			return
+		}
+		free.Add(n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cr := s.sched.Cycle(req.Now, free)
+	resp := CycleResponse{SolverMillis: float64(cr.SolverLatency.Microseconds()) / 1000}
+	for _, p := range cr.Preempted {
+		resp.Preempted = append(resp.Preempted, p.ID)
+		delete(s.running, p.ID)
+	}
+	for _, d := range cr.Decisions {
+		resp.Decisions = append(resp.Decisions, DecisionMsg{JobID: d.Job.ID, Nodes: d.Nodes})
+		s.running[d.Job.ID] = true
+	}
+	for _, j := range cr.Dropped {
+		resp.Dropped = append(resp.Dropped, j.ID)
+		delete(s.jobs, j.ID)
+	}
+	writeJSON(w, &resp)
+}
+
+func (s *Server) handleCompletion(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var msg CompletionMsg
+	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[msg.JobID]
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("httpapi: unknown job %d", msg.JobID))
+		return
+	}
+	delete(s.jobs, msg.JobID)
+	delete(s.running, msg.JobID)
+	s.sched.JobFinished(msg.Now, job)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, &StatusResponse{
+		Scheduler: s.sched.Name(),
+		Pending:   len(s.jobs) - len(s.running),
+		Running:   len(s.running),
+		Universe:  s.universe,
+	})
+}

@@ -1,0 +1,71 @@
+package milp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteLP(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddVar("I_j0", Binary, 0, 1, 4)
+	y := m.AddVar("P j0/g1", Integer, 0, 3, 0) // name needs sanitizing
+	z := m.AddVar("", Continuous, math.Inf(-1), Inf, -1)
+	w := m.AddVar("fixed", Continuous, 2, 2, 0)
+	m.AddConstraint("supply g0", []Term{{x, 2}, {y, 1}}, LE, 3)
+	m.AddConstraint("", []Term{{y, -1}, {z, 1}}, GE, 0)
+	m.AddConstraint("eq", []Term{{w, 1}}, EQ, 2)
+
+	var buf bytes.Buffer
+	if err := m.WriteLP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Maximize",
+		"obj: 4 I_j0 - 1 x2",
+		"Subject To",
+		"supply_g0: 2 I_j0 + 1 P_j0_g1 <= 3",
+		"c1: - 1 P_j0_g1 + 1 x2 >= 0",
+		"eq: 1 fixed = 2",
+		"Bounds",
+		"x2 free",
+		"fixed = 2",
+		"0 <= P_j0_g1 <= 3",
+		"Binary\n I_j0",
+		"General\n P_j0_g1",
+		"End",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LP output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteLPEmptyObjective(t *testing.T) {
+	m := NewModel(Minimize)
+	m.AddVar("x", Continuous, 0, 1, 0)
+	m.AddConstraint("c", nil, LE, 1)
+	var buf bytes.Buffer
+	if err := m.WriteLP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Minimize") || !strings.Contains(buf.String(), "0 x") {
+		t.Errorf("degenerate LP malformed:\n%s", buf.String())
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) {
+	return 0, bytes.ErrTooLarge
+}
+
+func TestWriteLPPropagatesErrors(t *testing.T) {
+	m := NewModel(Maximize)
+	m.AddVar("x", Binary, 0, 1, 1)
+	if err := m.WriteLP(failingWriter{}); err == nil {
+		t.Errorf("writer error swallowed")
+	}
+}

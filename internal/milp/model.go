@@ -1,0 +1,317 @@
+// Package milp implements a small mixed-integer linear programming solver:
+// a bounded-variable revised primal simplex for the LP relaxation and a
+// best-bound branch-and-bound search with MIP-gap and time limits.
+//
+// It fills the role IBM CPLEX plays in the TetriSched paper (§3.2.2): the
+// STRL compiler targets this package's Model type, and the scheduler asks for
+// solutions that are optimal within a configurable relative gap, optionally
+// seeded with the previous cycle's solution as an incumbent.
+package milp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Sense is the optimization direction of a model.
+type Sense int
+
+// Optimization directions.
+const (
+	Maximize Sense = iota
+	Minimize
+)
+
+// VarType describes the integrality requirement of a variable.
+type VarType int
+
+// Variable types.
+const (
+	Continuous VarType = iota
+	Integer
+	Binary
+)
+
+func (t VarType) String() string {
+	switch t {
+	case Continuous:
+		return "continuous"
+	case Integer:
+		return "integer"
+	case Binary:
+		return "binary"
+	}
+	return fmt.Sprintf("VarType(%d)", int(t))
+}
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota // ≤
+	GE           // ≥
+	EQ           // =
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Inf is positive infinity, usable as a variable bound.
+var Inf = math.Inf(1)
+
+// VarID identifies a variable within its Model.
+type VarID int
+
+// Term is a coefficient applied to a variable in a constraint.
+type Term struct {
+	Var  VarID
+	Coef float64
+}
+
+// Variable holds the definition of a model variable.
+type Variable struct {
+	Name string
+	Type VarType
+	Lb   float64
+	Ub   float64
+	Obj  float64
+}
+
+// Constraint is a linear constraint Σ coef·var  op  RHS.
+type Constraint struct {
+	Name  string
+	Terms []Term
+	Op    Op
+	RHS   float64
+}
+
+// Model is a mixed-integer linear program. Build it with AddVar and
+// AddConstraint, then pass it to Solve. A Model is not safe for concurrent
+// mutation, but may be solved concurrently once fully built.
+type Model struct {
+	Sense Sense
+	Vars  []Variable
+	Cons  []Constraint
+}
+
+// NewModel returns an empty model with the given optimization sense.
+func NewModel(sense Sense) *Model {
+	return &Model{Sense: sense}
+}
+
+// AddVar adds a variable and returns its ID. Binary variables have their
+// bounds clamped to [0,1] regardless of the supplied lb/ub.
+func (m *Model) AddVar(name string, typ VarType, lb, ub, obj float64) VarID {
+	if typ == Binary {
+		lb, ub = math.Max(lb, 0), math.Min(ub, 1)
+	}
+	m.Vars = append(m.Vars, Variable{Name: name, Type: typ, Lb: lb, Ub: ub, Obj: obj})
+	return VarID(len(m.Vars) - 1)
+}
+
+// AddBinary adds a binary variable with the given objective coefficient.
+func (m *Model) AddBinary(name string, obj float64) VarID {
+	return m.AddVar(name, Binary, 0, 1, obj)
+}
+
+// AddConstraint adds Σ terms op rhs. Terms referring to the same variable are
+// merged.
+func (m *Model) AddConstraint(name string, terms []Term, op Op, rhs float64) {
+	m.Cons = append(m.Cons, Constraint{Name: name, Terms: mergeTerms(terms), Op: op, RHS: rhs})
+}
+
+func mergeTerms(terms []Term) []Term {
+	seen := make(map[VarID]int, len(terms))
+	out := make([]Term, 0, len(terms))
+	for _, t := range terms {
+		if i, ok := seen[t.Var]; ok {
+			out[i].Coef += t.Coef
+			continue
+		}
+		seen[t.Var] = len(out)
+		out = append(out, t)
+	}
+	return out
+}
+
+// SetObj replaces the objective coefficient of v.
+func (m *Model) SetObj(v VarID, obj float64) { m.Vars[v].Obj = obj }
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return len(m.Vars) }
+
+// NumConstraints returns the number of constraints.
+func (m *Model) NumConstraints() int { return len(m.Cons) }
+
+// NumIntVars returns the number of integer and binary variables.
+func (m *Model) NumIntVars() int {
+	n := 0
+	for _, v := range m.Vars {
+		if v.Type != Continuous {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks structural sanity: bounds ordered, terms in range, finite
+// coefficients.
+func (m *Model) Validate() error {
+	for i, v := range m.Vars {
+		if v.Lb > v.Ub {
+			return fmt.Errorf("milp: var %q (#%d): lb %v > ub %v", v.Name, i, v.Lb, v.Ub)
+		}
+		if math.IsNaN(v.Lb) || math.IsNaN(v.Ub) || math.IsNaN(v.Obj) || math.IsInf(v.Obj, 0) {
+			return fmt.Errorf("milp: var %q (#%d): invalid bound or objective", v.Name, i)
+		}
+		if v.Type != Continuous && (math.IsInf(v.Lb, -1) || math.IsInf(v.Ub, 1)) {
+			return fmt.Errorf("milp: integer var %q (#%d) must have finite bounds", v.Name, i)
+		}
+	}
+	for i, c := range m.Cons {
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("milp: constraint %q (#%d): invalid rhs", c.Name, i)
+		}
+		for _, t := range c.Terms {
+			if t.Var < 0 || int(t.Var) >= len(m.Vars) {
+				return fmt.Errorf("milp: constraint %q (#%d): bad var id %d", c.Name, i, t.Var)
+			}
+			if math.IsNaN(t.Coef) || math.IsInf(t.Coef, 0) {
+				return fmt.Errorf("milp: constraint %q (#%d): invalid coefficient", c.Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+// ObjectiveValue evaluates the objective at the given point.
+func (m *Model) ObjectiveValue(x []float64) float64 {
+	obj := 0.0
+	for i, v := range m.Vars {
+		obj += v.Obj * x[i]
+	}
+	return obj
+}
+
+// IsFeasible reports whether x satisfies all bounds, integrality, and
+// constraints within tol.
+func (m *Model) IsFeasible(x []float64, tol float64) bool {
+	if len(x) != len(m.Vars) {
+		return false
+	}
+	for i, v := range m.Vars {
+		if x[i] < v.Lb-tol || x[i] > v.Ub+tol {
+			return false
+		}
+		if v.Type != Continuous && math.Abs(x[i]-math.Round(x[i])) > tol {
+			return false
+		}
+	}
+	for _, c := range m.Cons {
+		lhs := 0.0
+		for _, t := range c.Terms {
+			lhs += t.Coef * x[t.Var]
+		}
+		switch c.Op {
+		case LE:
+			if lhs > c.RHS+tol {
+				return false
+			}
+		case GE:
+			if lhs < c.RHS-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the model in an LP-like text format, useful for debugging
+// compiled STRL expressions.
+func (m *Model) String() string {
+	var b strings.Builder
+	if m.Sense == Maximize {
+		b.WriteString("maximize\n  ")
+	} else {
+		b.WriteString("minimize\n  ")
+	}
+	first := true
+	for i, v := range m.Vars {
+		if v.Obj == 0 {
+			continue
+		}
+		writeTerm(&b, &first, v.Obj, m.varName(VarID(i)))
+	}
+	if first {
+		b.WriteString("0")
+	}
+	b.WriteString("\nsubject to\n")
+	for i, c := range m.Cons {
+		name := c.Name
+		if name == "" {
+			name = fmt.Sprintf("c%d", i)
+		}
+		fmt.Fprintf(&b, "  %s: ", name)
+		cf := true
+		for _, t := range c.Terms {
+			writeTerm(&b, &cf, t.Coef, m.varName(t.Var))
+		}
+		if cf {
+			b.WriteString("0")
+		}
+		fmt.Fprintf(&b, " %s %g\n", c.Op, c.RHS)
+	}
+	b.WriteString("bounds\n")
+	for i, v := range m.Vars {
+		fmt.Fprintf(&b, "  %g <= %s <= %g  [%s]\n", v.Lb, m.varName(VarID(i)), v.Ub, v.Type)
+	}
+	return b.String()
+}
+
+func (m *Model) varName(v VarID) string {
+	if n := m.Vars[v].Name; n != "" {
+		return n
+	}
+	return fmt.Sprintf("x%d", int(v))
+}
+
+func writeTerm(b *strings.Builder, first *bool, coef float64, name string) {
+	switch {
+	case *first:
+		if coef == 1 {
+			b.WriteString(name)
+		} else if coef == -1 {
+			b.WriteString("-" + name)
+		} else {
+			fmt.Fprintf(b, "%g %s", coef, name)
+		}
+		*first = false
+	case coef >= 0:
+		if coef == 1 {
+			fmt.Fprintf(b, " + %s", name)
+		} else {
+			fmt.Fprintf(b, " + %g %s", coef, name)
+		}
+	default:
+		if coef == -1 {
+			fmt.Fprintf(b, " - %s", name)
+		} else {
+			fmt.Fprintf(b, " - %g %s", -coef, name)
+		}
+	}
+}

@@ -1,0 +1,546 @@
+package milp
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// lpStatus is the outcome of an LP solve.
+type lpStatus int
+
+const (
+	lpOptimal lpStatus = iota
+	lpInfeasible
+	lpUnbounded
+	lpIterLimit
+)
+
+// Numerical tolerances for the simplex method.
+const (
+	feasTol  = 1e-7 // bound/constraint feasibility
+	optTol   = 1e-7 // reduced-cost optimality
+	pivotTol = 1e-9 // minimum acceptable pivot magnitude
+)
+
+var errSingularBasis = errors.New("milp: singular basis during refactorization")
+
+type colEntry struct {
+	row  int
+	coef float64
+}
+
+// lp is a linear program in computational standard form:
+//
+//	minimize cᵀx  subject to  A·x = b,  lb ≤ x ≤ ub
+//
+// where the columns include one slack per original row (a·x + s = rhs, with
+// slack bounds encoding ≤ / ≥ / =). Artificial columns are appended during
+// phase 1 when the all-slack basis is infeasible.
+type lp struct {
+	m, n  int          // rows, columns (structurals + slacks)
+	cols  [][]colEntry // sparse columns of A
+	b     []float64
+	c     []float64 // phase-2 objective (minimize)
+	lb    []float64
+	ub    []float64
+	nvars int // structural variable count (prefix of columns)
+}
+
+// newLP converts a Model into computational standard form. Branch-and-bound
+// passes per-node copies of the bound arrays without rebuilding the matrix.
+func newLP(model *Model) *lp {
+	m := len(model.Cons)
+	nv := len(model.Vars)
+	p := &lp{
+		m:     m,
+		n:     nv + m,
+		cols:  make([][]colEntry, nv+m),
+		b:     make([]float64, m),
+		c:     make([]float64, nv+m),
+		lb:    make([]float64, nv+m),
+		ub:    make([]float64, nv+m),
+		nvars: nv,
+	}
+	sign := 1.0
+	if model.Sense == Maximize {
+		sign = -1.0 // minimize the negated objective
+	}
+	for j, v := range model.Vars {
+		p.c[j] = sign * v.Obj
+		p.lb[j] = v.Lb
+		p.ub[j] = v.Ub
+	}
+	for i, con := range model.Cons {
+		p.b[i] = con.RHS
+		for _, t := range con.Terms {
+			if t.Coef != 0 {
+				p.cols[t.Var] = append(p.cols[t.Var], colEntry{row: i, coef: t.Coef})
+			}
+		}
+		sj := nv + i
+		p.cols[sj] = []colEntry{{row: i, coef: 1}}
+		switch con.Op {
+		case LE:
+			p.lb[sj], p.ub[sj] = 0, Inf
+		case GE:
+			p.lb[sj], p.ub[sj] = math.Inf(-1), 0
+		case EQ:
+			p.lb[sj], p.ub[sj] = 0, 0
+		}
+	}
+	return p
+}
+
+// Nonbasic variable positions.
+const (
+	atLower byte = iota
+	atUpper
+	atFree // free variable resting at zero
+	inBasis
+)
+
+// simplexState carries the working state of one LP solve.
+type simplexState struct {
+	p        *lp
+	nTotal   int // columns including artificials
+	artCols  [][]colEntry
+	cost     []float64
+	basis    []int  // row -> column
+	status   []byte // column -> position
+	x        []float64
+	binv     [][]float64 // dense basis inverse
+	y        []float64   // duals scratch
+	w        []float64   // pivot column scratch
+	ratios   []float64   // ratio-test scratch
+	iter     int
+	maxIter  int
+	bland    bool
+	stall    int
+	deadline time.Time // zero = no deadline
+}
+
+// solveLP solves the LP under the given bound overrides. The returned values
+// cover the structural and slack columns; the objective is in the internal
+// minimize orientation (callers re-evaluate via the Model).
+func solveLP(p *lp, lb, ub []float64, maxIter int) (lpStatus, []float64, error) {
+	return solveLPDeadline(p, lb, ub, maxIter, time.Time{})
+}
+
+// solveLPDeadline is solveLP with a wall-clock deadline; when exceeded the
+// solve aborts with lpIterLimit.
+func solveLPDeadline(p *lp, lb, ub []float64, maxIter int, deadline time.Time) (lpStatus, []float64, error) {
+	if maxIter <= 0 {
+		maxIter = 200*(p.m+1) + 20000
+	}
+	s := &simplexState{
+		p:        p,
+		nTotal:   p.n,
+		basis:    make([]int, p.m),
+		status:   make([]byte, p.n, p.n+p.m),
+		x:        make([]float64, p.n, p.n+p.m),
+		binv:     identity(p.m),
+		y:        make([]float64, p.m),
+		w:        make([]float64, p.m),
+		ratios:   make([]float64, p.m),
+		maxIter:  maxIter,
+		deadline: deadline,
+	}
+	for j := 0; j < p.n; j++ {
+		switch {
+		case !math.IsInf(lb[j], -1):
+			s.x[j], s.status[j] = lb[j], atLower
+		case !math.IsInf(ub[j], 1):
+			s.x[j], s.status[j] = ub[j], atUpper
+		default:
+			s.x[j], s.status[j] = 0, atFree
+		}
+	}
+	// Residuals of the rows with all columns at their resting points.
+	resid := make([]float64, p.m)
+	copy(resid, p.b)
+	for j := 0; j < p.nvars; j++ {
+		if s.x[j] != 0 {
+			for _, e := range p.cols[j] {
+				resid[e.row] -= e.coef * s.x[j]
+			}
+		}
+	}
+	// Quick start: all-slack basis if feasible (always true for models the
+	// STRL compiler emits, where the zero assignment is feasible).
+	feasibleStart := true
+	for i := 0; i < p.m; i++ {
+		sj := p.nvars + i
+		if resid[i] < lb[sj]-feasTol || resid[i] > ub[sj]+feasTol {
+			feasibleStart = false
+			break
+		}
+	}
+	if feasibleStart {
+		for i := 0; i < p.m; i++ {
+			sj := p.nvars + i
+			s.basis[i] = sj
+			s.status[sj] = inBasis
+			s.x[sj] = resid[i]
+		}
+		st, err := s.iterate(lb, ub, p.c)
+		if err != nil {
+			return lpIterLimit, nil, err
+		}
+		return st, s.x[:p.n], nil
+	}
+
+	// Phase 1: one signed artificial per row so each starts basic at |resid|.
+	lbFull := append(append(make([]float64, 0, p.n+p.m), lb...), make([]float64, p.m)...)
+	ubFull := append(append(make([]float64, 0, p.n+p.m), ub...), make([]float64, p.m)...)
+	costP1 := make([]float64, p.n+p.m)
+	s.artCols = make([][]colEntry, p.m)
+	for i := 0; i < p.m; i++ {
+		aj := p.n + i
+		coef := 1.0
+		if resid[i] < 0 {
+			coef = -1.0
+		}
+		s.artCols[i] = []colEntry{{row: i, coef: coef}}
+		lbFull[aj], ubFull[aj] = 0, Inf
+		costP1[aj] = 1
+		s.basis[i] = aj
+		s.binv[i][i] = coef // basis matrix diag(±1) is its own inverse
+		s.x = append(s.x, math.Abs(resid[i]))
+		s.status = append(s.status, inBasis)
+	}
+	s.nTotal = p.n + p.m
+	st, err := s.iterate(lbFull, ubFull, costP1)
+	if err != nil {
+		return lpIterLimit, nil, err
+	}
+	if st == lpIterLimit {
+		return lpIterLimit, nil, nil
+	}
+	p1obj := 0.0
+	for j := p.n; j < s.nTotal; j++ {
+		p1obj += s.x[j]
+	}
+	if p1obj > 1e-6 {
+		return lpInfeasible, nil, nil
+	}
+	// Pin artificials to zero and optimize the real objective.
+	for j := p.n; j < s.nTotal; j++ {
+		ubFull[j] = 0
+		if s.x[j] < 0 || s.x[j] > 0 {
+			s.x[j] = clampVal(s.x[j], 0, 0)
+		}
+	}
+	costP2 := make([]float64, s.nTotal)
+	copy(costP2, p.c)
+	s.bland, s.stall = false, 0
+	st, err = s.iterate(lbFull, ubFull, costP2)
+	if err != nil {
+		return lpIterLimit, nil, err
+	}
+	return st, s.x[:p.n], nil
+}
+
+func clampVal(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func identity(m int) [][]float64 {
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, m)
+		a[i][i] = 1
+	}
+	return a
+}
+
+// column returns the sparse column j, including artificial columns.
+func (s *simplexState) column(j int) []colEntry {
+	if j < s.p.n {
+		return s.p.cols[j]
+	}
+	return s.artCols[j-s.p.n]
+}
+
+// iterate runs primal simplex iterations to optimality under the given
+// bounds and cost vector.
+func (s *simplexState) iterate(lb, ub, cost []float64) (lpStatus, error) {
+	s.cost = cost
+	refactorCountdown := 120
+	for {
+		if s.iter >= s.maxIter {
+			return lpIterLimit, nil
+		}
+		if s.iter%256 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			return lpIterLimit, nil
+		}
+		s.iter++
+		if refactorCountdown--; refactorCountdown <= 0 {
+			if err := s.refactorize(); err != nil {
+				return lpIterLimit, err
+			}
+			refactorCountdown = 120
+		}
+		// Duals: y = cBᵀ·Binv.
+		for i := 0; i < s.p.m; i++ {
+			s.y[i] = 0
+		}
+		for r := 0; r < s.p.m; r++ {
+			cb := cost[s.basis[r]]
+			if cb == 0 {
+				continue
+			}
+			row := s.binv[r]
+			for i := 0; i < s.p.m; i++ {
+				s.y[i] += cb * row[i]
+			}
+		}
+		// Pricing: Dantzig rule, Bland's rule once stalling is detected.
+		enter, dir := -1, 1.0
+		best := 0.0
+		for j := 0; j < s.nTotal; j++ {
+			st := s.status[j]
+			if st == inBasis || lb[j] == ub[j] {
+				continue
+			}
+			d := cost[j]
+			for _, e := range s.column(j) {
+				d -= s.y[e.row] * e.coef
+			}
+			var score, dj float64
+			switch st {
+			case atLower:
+				if d < -optTol {
+					score, dj = -d, 1
+				}
+			case atUpper:
+				if d > optTol {
+					score, dj = d, -1
+				}
+			case atFree:
+				if math.Abs(d) > optTol {
+					score = math.Abs(d)
+					if d > 0 {
+						dj = -1
+					} else {
+						dj = 1
+					}
+				}
+			}
+			if score > 0 {
+				if s.bland {
+					enter, dir = j, dj
+					break
+				}
+				if score > best {
+					best, enter, dir = score, j, dj
+				}
+			}
+		}
+		if enter < 0 {
+			return lpOptimal, nil
+		}
+		// Pivot column w = Binv·a_enter.
+		for i := 0; i < s.p.m; i++ {
+			s.w[i] = 0
+		}
+		for _, e := range s.column(enter) {
+			if e.coef == 0 {
+				continue
+			}
+			for i := 0; i < s.p.m; i++ {
+				s.w[i] += s.binv[i][e.row] * e.coef
+			}
+		}
+		// Ratio test, pass 1: the smallest blocking step.
+		tLim := math.Inf(1)
+		if !math.IsInf(lb[enter], -1) && !math.IsInf(ub[enter], 1) {
+			tLim = ub[enter] - lb[enter] // bound flip distance
+		}
+		for i := 0; i < s.p.m; i++ {
+			s.ratios[i] = math.Inf(1)
+			wi := dir * s.w[i]
+			if math.Abs(wi) < pivotTol {
+				continue
+			}
+			bj := s.basis[i]
+			var t float64
+			if wi > 0 {
+				if math.IsInf(lb[bj], -1) {
+					continue
+				}
+				t = (s.x[bj] - lb[bj]) / wi
+			} else {
+				if math.IsInf(ub[bj], 1) {
+					continue
+				}
+				t = (s.x[bj] - ub[bj]) / wi
+			}
+			if t < 0 {
+				t = 0
+			}
+			s.ratios[i] = t
+			if t < tLim {
+				tLim = t
+			}
+		}
+		if math.IsInf(tLim, 1) {
+			return lpUnbounded, nil
+		}
+		// Pass 2: among blocking rows near the limit, prefer the largest
+		// pivot magnitude for numerical stability (Bland: lowest index).
+		leave := -1
+		bestPivot := 0.0
+		for i := 0; i < s.p.m; i++ {
+			if s.ratios[i] <= tLim+1e-9 && !math.IsInf(s.ratios[i], 1) {
+				if s.bland {
+					if leave < 0 || s.basis[i] < s.basis[leave] {
+						leave = i
+					}
+				} else if math.Abs(s.w[i]) > bestPivot {
+					bestPivot = math.Abs(s.w[i])
+					leave = i
+				}
+			}
+		}
+		// Apply the step.
+		s.x[enter] += dir * tLim
+		for i := 0; i < s.p.m; i++ {
+			if s.w[i] != 0 {
+				s.x[s.basis[i]] -= dir * tLim * s.w[i]
+			}
+		}
+		if leave < 0 {
+			// Bound flip.
+			if s.status[enter] == atLower {
+				s.status[enter] = atUpper
+				s.x[enter] = ub[enter]
+			} else {
+				s.status[enter] = atLower
+				s.x[enter] = lb[enter]
+			}
+			s.noteProgress(tLim, best)
+			continue
+		}
+		out := s.basis[leave]
+		// Land the leaving variable exactly on the bound it hit.
+		if dir*s.w[leave] > 0 {
+			s.x[out] = lb[out]
+			s.status[out] = atLower
+		} else {
+			s.x[out] = ub[out]
+			s.status[out] = atUpper
+		}
+		s.basis[leave] = enter
+		s.status[enter] = inBasis
+		s.pivotUpdate(leave)
+		s.noteProgress(tLim, best)
+	}
+}
+
+// noteProgress tracks degenerate stalls and arms Bland's anti-cycling rule.
+func (s *simplexState) noteProgress(step, reducedCost float64) {
+	if step*reducedCost > 1e-12 {
+		s.stall = 0
+		s.bland = false
+		return
+	}
+	s.stall++
+	if s.stall > 3*s.p.m+50 {
+		s.bland = true
+	}
+}
+
+// pivotUpdate applies the product-form basis-inverse update for a pivot in
+// row r, where s.w holds Binv·a_enter.
+func (s *simplexState) pivotUpdate(r int) {
+	piv := s.w[r]
+	rowR := s.binv[r]
+	inv := 1 / piv
+	for k := 0; k < s.p.m; k++ {
+		rowR[k] *= inv
+	}
+	for i := 0; i < s.p.m; i++ {
+		if i == r {
+			continue
+		}
+		f := s.w[i]
+		if math.Abs(f) < 1e-13 {
+			continue
+		}
+		rowI := s.binv[i]
+		for k := 0; k < s.p.m; k++ {
+			rowI[k] -= f * rowR[k]
+		}
+	}
+}
+
+// refactorize recomputes the basis inverse from scratch (Gauss-Jordan with
+// partial pivoting) and refreshes basic variable values, containing drift
+// from repeated product-form updates.
+func (s *simplexState) refactorize() error {
+	m := s.p.m
+	a := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		a[i] = make([]float64, 2*m)
+		a[i][m+i] = 1
+	}
+	for r, j := range s.basis {
+		for _, e := range s.column(j) {
+			a[e.row][r] = e.coef
+		}
+	}
+	for col := 0; col < m; col++ {
+		p := col
+		for i := col + 1; i < m; i++ {
+			if math.Abs(a[i][col]) > math.Abs(a[p][col]) {
+				p = i
+			}
+		}
+		if math.Abs(a[p][col]) < 1e-12 {
+			return errSingularBasis
+		}
+		a[col], a[p] = a[p], a[col]
+		inv := 1 / a[col][col]
+		for k := col; k < 2*m; k++ {
+			a[col][k] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == col || a[i][col] == 0 {
+				continue
+			}
+			f := a[i][col]
+			for k := col; k < 2*m; k++ {
+				a[i][k] -= f * a[col][k]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		copy(s.binv[i], a[i][m:])
+	}
+	// Refresh basic values: xB = Binv·(b − N·xN).
+	resid := make([]float64, m)
+	copy(resid, s.p.b)
+	for j := 0; j < s.nTotal; j++ {
+		if s.status[j] == inBasis || s.x[j] == 0 {
+			continue
+		}
+		for _, e := range s.column(j) {
+			resid[e.row] -= e.coef * s.x[j]
+		}
+	}
+	for i := 0; i < m; i++ {
+		v := 0.0
+		for k := 0; k < m; k++ {
+			v += s.binv[i][k] * resid[k]
+		}
+		s.x[s.basis[i]] = v
+	}
+	return nil
+}

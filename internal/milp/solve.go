@@ -1,0 +1,426 @@
+package milp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	// StatusOptimal means the solution is optimal within the configured gap.
+	StatusOptimal Status = iota
+	// StatusFeasible means a feasible incumbent was found but search ended
+	// early (time, node, or iteration limit).
+	StatusFeasible
+	// StatusInfeasible means the model has no feasible solution.
+	StatusInfeasible
+	// StatusUnbounded means the relaxation is unbounded in the optimize
+	// direction.
+	StatusUnbounded
+	// StatusNoSolution means search ended early with no incumbent.
+	StatusNoSolution
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusFeasible:
+		return "feasible"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusNoSolution:
+		return "no-solution"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Options configures a Solve call. The zero value requests an exact solve
+// with no limits.
+type Options struct {
+	// Gap is the relative MIP gap: search stops when
+	// |bestBound − incumbent| ≤ Gap·max(1,|incumbent|). The paper configures
+	// its solver to return solutions within 10% of optimal (§3.2.2).
+	Gap float64
+	// TimeLimit bounds wall-clock search time (0 = unlimited). The best
+	// incumbent found is returned with StatusFeasible.
+	TimeLimit time.Duration
+	// MaxNodes bounds the number of branch-and-bound nodes (0 = unlimited).
+	MaxNodes int
+	// InitialSolution, if non-nil and feasible, seeds the incumbent — used by
+	// the scheduler to warm-start each cycle with the previous cycle's plan.
+	InitialSolution []float64
+	// Heuristic, if non-nil, proposes an integral candidate from an LP
+	// relaxation point. Problem-aware callers (the STRL compiler) supply a
+	// structure-exploiting rounding that is far cheaper than generic LP
+	// dives; candidates are validated before being accepted as incumbents.
+	Heuristic func(relaxation []float64) []float64
+}
+
+// Solution is the result of a Solve call.
+type Solution struct {
+	Status    Status
+	Objective float64   // objective of Values (valid unless NoSolution/Infeasible)
+	Bound     float64   // best proven bound on the optimum
+	Values    []float64 // one entry per model variable
+	Nodes     int       // branch-and-bound nodes explored
+	Runtime   time.Duration
+}
+
+// Gap returns the achieved relative gap between bound and objective.
+func (s *Solution) Gap() float64 {
+	return math.Abs(s.Bound-s.Objective) / math.Max(1, math.Abs(s.Objective))
+}
+
+const intTol = 1e-6
+
+// bbNode is a branch-and-bound subproblem: the root bounds plus overrides.
+type bbNode struct {
+	bound     float64 // parent LP objective (optimistic)
+	depth     int
+	overrides []boundOverride
+}
+
+type boundOverride struct {
+	col   int
+	isUB  bool
+	value float64
+}
+
+type nodeHeap struct {
+	nodes []*bbNode
+	max   bool // true: pop highest bound first (maximize)
+}
+
+func (h *nodeHeap) Len() int { return len(h.nodes) }
+func (h *nodeHeap) Less(i, j int) bool {
+	if h.max {
+		return h.nodes[i].bound > h.nodes[j].bound
+	}
+	return h.nodes[i].bound < h.nodes[j].bound
+}
+func (h *nodeHeap) Swap(i, j int)      { h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i] }
+func (h *nodeHeap) Push(x interface{}) { h.nodes = append(h.nodes, x.(*bbNode)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := h.nodes
+	n := len(old)
+	x := old[n-1]
+	h.nodes = old[:n-1]
+	return x
+}
+
+// Solve optimizes the model. Pure LPs (no integer variables) are solved with
+// a single simplex call; otherwise best-bound branch-and-bound runs until the
+// gap, time, or node limit is met.
+func Solve(model *Model, opts Options) (*Solution, error) {
+	start := time.Now()
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if len(model.Vars) == 0 {
+		return &Solution{Status: StatusOptimal, Values: nil, Runtime: time.Since(start)}, nil
+	}
+	p := newLP(model)
+	maximize := model.Sense == Maximize
+	var deadline time.Time
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+
+	better := func(a, b float64) bool { // is a strictly better than b?
+		if maximize {
+			return a > b+1e-12
+		}
+		return a < b-1e-12
+	}
+	worst := math.Inf(-1)
+	if !maximize {
+		worst = math.Inf(1)
+	}
+
+	var incumbent []float64
+	incObj := worst
+	if opts.InitialSolution != nil && model.IsFeasible(opts.InitialSolution, 1e-6) {
+		incumbent = append([]float64(nil), opts.InitialSolution...)
+		incObj = model.ObjectiveValue(incumbent)
+	}
+
+	// Root relaxation.
+	st, x, err := solveLPDeadline(p, p.lb, p.ub, 0, deadline)
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{Nodes: 1}
+	switch st {
+	case lpInfeasible:
+		sol.Status = StatusInfeasible
+		sol.Runtime = time.Since(start)
+		return sol, nil
+	case lpUnbounded:
+		sol.Status = StatusUnbounded
+		sol.Runtime = time.Since(start)
+		return sol, nil
+	case lpIterLimit:
+		// Root aborted (deadline or iteration cap): report the seed
+		// incumbent if one was provided, else no solution.
+		if incumbent != nil {
+			return &Solution{Status: StatusFeasible, Objective: incObj, Values: incumbent, Nodes: 1, Runtime: time.Since(start)}, nil
+		}
+		return &Solution{Status: StatusNoSolution, Nodes: 1, Runtime: time.Since(start)}, nil
+	}
+	rootObj := model.ObjectiveValue(x[:len(model.Vars)])
+
+	frac := firstFractional(model, x)
+	if frac < 0 {
+		// LP optimum is already integral.
+		vals := roundIntegral(model, x[:len(model.Vars)])
+		return &Solution{
+			Status:    StatusOptimal,
+			Objective: model.ObjectiveValue(vals),
+			Bound:     rootObj,
+			Values:    vals,
+			Nodes:     1,
+			Runtime:   time.Since(start),
+		}, nil
+	}
+
+	// Heuristics on the root for a strong starting incumbent: plain rounding,
+	// then an LP dive that fixes fractional integers one at a time. A good
+	// incumbent matters because gap-based termination returns it directly.
+	consider := func(cand []float64) {
+		if cand == nil || !model.IsFeasible(cand, 1e-6) {
+			return
+		}
+		if obj := model.ObjectiveValue(cand); incumbent == nil || better(obj, incObj) {
+			incumbent, incObj = cand, obj
+		}
+	}
+	consider(roundHeuristic(model, x))
+	if opts.Heuristic != nil {
+		consider(opts.Heuristic(x[:len(model.Vars)]))
+	} else {
+		consider(diveFrom(model, p, p.lb, p.ub, x, deadline))
+	}
+
+	h := &nodeHeap{max: maximize}
+	heap.Init(h)
+	heap.Push(h, &bbNode{bound: rootObj})
+
+	gapMet := func(bound float64) bool {
+		if incumbent == nil {
+			return false
+		}
+		return math.Abs(bound-incObj) <= opts.Gap*math.Max(1, math.Abs(incObj))+1e-9
+	}
+
+	nodes := 1
+	bestBound := rootObj
+	deadlineHit := false
+	lbBuf := make([]float64, len(p.lb))
+	ubBuf := make([]float64, len(p.ub))
+	for h.Len() > 0 {
+		if opts.MaxNodes > 0 && nodes >= opts.MaxNodes {
+			break
+		}
+		if opts.TimeLimit > 0 && time.Since(start) > opts.TimeLimit {
+			deadlineHit = true
+			break
+		}
+		node := heap.Pop(h).(*bbNode)
+		bestBound = node.bound // best-bound order: the top of the heap is the global bound
+		if incumbent != nil && !better(node.bound, incObj) {
+			continue // pruned by bound
+		}
+		if gapMet(node.bound) {
+			break
+		}
+		copy(lbBuf, p.lb)
+		copy(ubBuf, p.ub)
+		for _, o := range node.overrides {
+			if o.isUB {
+				ubBuf[o.col] = math.Min(ubBuf[o.col], o.value)
+			} else {
+				lbBuf[o.col] = math.Max(lbBuf[o.col], o.value)
+			}
+		}
+		nodes++
+		st, x, err := solveLPDeadline(p, lbBuf, ubBuf, 0, deadline)
+		if err != nil || st == lpIterLimit {
+			continue // treat numerical trouble as a pruned node
+		}
+		if st == lpInfeasible {
+			continue
+		}
+		if st == lpUnbounded {
+			// Integer restrictions cannot unbound a bounded relaxation; the
+			// root would have been unbounded. Defensive skip.
+			continue
+		}
+		obj := model.ObjectiveValue(x[:len(model.Vars)])
+		if incumbent != nil && !better(obj, incObj) {
+			continue
+		}
+		fr := firstFractional(model, x)
+		if fr < 0 {
+			vals := roundIntegral(model, x[:len(model.Vars)])
+			o := model.ObjectiveValue(vals)
+			if incumbent == nil || better(o, incObj) {
+				incumbent, incObj = vals, o
+			}
+			continue
+		}
+		// Periodically derive an incumbent from this node's relaxation; cheap
+		// relative to the search it prunes.
+		if opts.Heuristic != nil && nodes%16 == 0 {
+			consider(opts.Heuristic(x[:len(model.Vars)]))
+		} else if opts.Heuristic == nil && nodes%64 == 0 {
+			consider(diveFrom(model, p, lbBuf, ubBuf, x, deadline))
+		}
+		// Branch on the most fractional integer variable.
+		bv := mostFractional(model, x)
+		v := x[bv]
+		down := append(append([]boundOverride(nil), node.overrides...),
+			boundOverride{col: bv, isUB: true, value: math.Floor(v + intTol)})
+		up := append(append([]boundOverride(nil), node.overrides...),
+			boundOverride{col: bv, isUB: false, value: math.Ceil(v - intTol)})
+		heap.Push(h, &bbNode{bound: obj, depth: node.depth + 1, overrides: down})
+		heap.Push(h, &bbNode{bound: obj, depth: node.depth + 1, overrides: up})
+	}
+	if h.Len() == 0 && !deadlineHit {
+		// Exhausted the tree: the incumbent is exactly optimal.
+		bestBound = incObj
+	} else if h.Len() > 0 {
+		top := h.nodes[0].bound
+		if maximize {
+			bestBound = math.Max(top, incObj)
+		} else {
+			bestBound = math.Min(top, incObj)
+		}
+	}
+
+	sol = &Solution{Nodes: nodes, Bound: bestBound, Runtime: time.Since(start)}
+	if incumbent == nil {
+		if h.Len() == 0 {
+			sol.Status = StatusInfeasible
+		} else {
+			sol.Status = StatusNoSolution
+		}
+		return sol, nil
+	}
+	sol.Values = incumbent
+	sol.Objective = incObj
+	if h.Len() == 0 || gapMet(bestBound) {
+		sol.Status = StatusOptimal
+	} else {
+		sol.Status = StatusFeasible
+	}
+	return sol, nil
+}
+
+// firstFractional returns the index of an integer-typed variable whose LP
+// value is fractional, or -1 if the LP point is integral.
+func firstFractional(m *Model, x []float64) int {
+	for i, v := range m.Vars {
+		if v.Type == Continuous {
+			continue
+		}
+		if math.Abs(x[i]-math.Round(x[i])) > intTol {
+			return i
+		}
+	}
+	return -1
+}
+
+// mostFractional picks the integer variable farthest from integrality.
+func mostFractional(m *Model, x []float64) int {
+	best, bestDist := -1, intTol
+	for i, v := range m.Vars {
+		if v.Type == Continuous {
+			continue
+		}
+		f := x[i] - math.Floor(x[i])
+		d := math.Min(f, 1-f)
+		if d > bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// roundIntegral snaps near-integer values of integer variables exactly.
+func roundIntegral(m *Model, x []float64) []float64 {
+	out := append([]float64(nil), x...)
+	for i, v := range m.Vars {
+		if v.Type != Continuous {
+			out[i] = math.Round(out[i])
+		}
+	}
+	return out
+}
+
+// diveHeuristic walks from the root relaxation toward an integral point with
+// a bounded number of LP re-solves: each step fixes every already-integral
+// integer variable plus the most fractional one, so it converges in a
+// handful of solves even on large models. It returns a feasible integral
+// point or nil.
+// diveFrom dives from an arbitrary bound box and LP point.
+func diveFrom(m *Model, p *lp, lb0, ub0 []float64, fromX []float64, deadline time.Time) []float64 {
+	const maxSteps = 12
+	lb := append([]float64(nil), lb0...)
+	ub := append([]float64(nil), ub0...)
+	x := fromX
+	for depth := 0; depth < maxSteps; depth++ {
+		fr := mostFractional(m, x)
+		if fr < 0 {
+			vals := roundIntegral(m, x[:len(m.Vars)])
+			if m.IsFeasible(vals, 1e-6) {
+				return vals
+			}
+			return nil
+		}
+		for i, v := range m.Vars {
+			if v.Type == Continuous {
+				continue
+			}
+			r := math.Round(x[i])
+			if math.Abs(x[i]-r) <= intTol {
+				r = clampVal(r, lb[i], ub[i])
+				lb[i], ub[i] = r, r
+			}
+		}
+		v := clampVal(math.Round(x[fr]), lb[fr], ub[fr])
+		lb[fr], ub[fr] = v, v
+		st, nx, err := solveLPDeadline(p, lb, ub, 0, deadline)
+		if err != nil || st != lpOptimal {
+			return nil
+		}
+		x = nx
+	}
+	return nil
+}
+
+// roundHeuristic tries rounding the relaxation to a feasible integer point.
+// For the down-monotone models STRL compiles to (all demands scale with
+// indicators), rounding indicators down is frequently feasible.
+func roundHeuristic(m *Model, x []float64) []float64 {
+	for _, mode := range []func(float64) float64{math.Floor, math.Round} {
+		cand := make([]float64, len(m.Vars))
+		copy(cand, x[:len(m.Vars)])
+		for i, v := range m.Vars {
+			if v.Type != Continuous {
+				cand[i] = clampVal(mode(cand[i]), v.Lb, v.Ub)
+			}
+		}
+		if m.IsFeasible(cand, 1e-6) {
+			return cand
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+// Package rayon implements a Rayon-style reservation system (Curino et al.,
+// SoCC'14): the admission-control frontend that TetriSched runs in tandem
+// with (§2.1). SLO jobs submit a reservation request derived from their RDL
+// expression — Window(s, f, Atom(k, gang, dur)) — and the plan either
+// guarantees k nodes for dur somewhere inside the window or rejects the job,
+// which then runs as "SLO without reservation".
+//
+// The plan tracks reserved capacity per discretized time slice and admits
+// greedily at the earliest feasible start, which is how Rayon's default
+// greedy agent behaves. The CapacityScheduler baseline follows these planned
+// start times; TetriSched only uses the accept/reject signal and the
+// deadline/estimate information.
+package rayon
+
+import (
+	"fmt"
+)
+
+// Reservation is an accepted capacity guarantee: K nodes during [Start, End).
+type Reservation struct {
+	JobID int
+	K     int
+	Start int64 // absolute seconds, quantized to the plan's quantum
+	End   int64
+	freed bool
+}
+
+// Plan is the cluster's reservation calendar.
+type Plan struct {
+	capacity int
+	quantum  int64
+	used     map[int64]int // slice index -> reserved node count
+	accepted map[int]*Reservation
+}
+
+// NewPlan creates a plan for a cluster of capacity nodes with the given
+// time quantum (seconds).
+func NewPlan(capacity int, quantum int64) *Plan {
+	if capacity <= 0 || quantum <= 0 {
+		panic("rayon: capacity and quantum must be positive")
+	}
+	return &Plan{
+		capacity: capacity,
+		quantum:  quantum,
+		used:     make(map[int64]int),
+		accepted: make(map[int]*Reservation),
+	}
+}
+
+// Capacity returns the plan's total node capacity.
+func (p *Plan) Capacity() int { return p.capacity }
+
+// Quantum returns the plan's time quantum in seconds.
+func (p *Plan) Quantum() int64 { return p.quantum }
+
+// Admit attempts to reserve k nodes for estDur seconds within
+// [arrival, deadline], scanning for the earliest feasible start. It returns
+// the reservation, or nil if the request must be rejected.
+func (p *Plan) Admit(jobID int, arrival, deadline int64, k int, estDur int64) *Reservation {
+	if k <= 0 || k > p.capacity || estDur <= 0 {
+		return nil
+	}
+	durSlices := (estDur + p.quantum - 1) / p.quantum
+	firstSlice := arrival / p.quantum
+	if arrival%p.quantum != 0 {
+		firstSlice++
+	}
+	lastStart := deadline/p.quantum - durSlices
+	for s := firstSlice; s <= lastStart; s++ {
+		ok := true
+		for t := s; t < s+durSlices; t++ {
+			if p.used[t]+k > p.capacity {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for t := s; t < s+durSlices; t++ {
+			p.used[t] += k
+		}
+		r := &Reservation{JobID: jobID, K: k, Start: s * p.quantum, End: (s + durSlices) * p.quantum}
+		p.accepted[jobID] = r
+		return r
+	}
+	return nil
+}
+
+// Release frees the remainder of a reservation from time `at` onward, e.g.
+// when the job completes before its reservation ends. Releasing twice is a
+// no-op.
+func (p *Plan) Release(r *Reservation, at int64) {
+	if r == nil || r.freed {
+		return
+	}
+	r.freed = true
+	from := at / p.quantum
+	if at%p.quantum != 0 {
+		from++
+	}
+	if from < r.Start/p.quantum {
+		from = r.Start / p.quantum
+	}
+	for t := from; t < r.End/p.quantum; t++ {
+		p.used[t] -= r.K
+		if p.used[t] < 0 {
+			panic(fmt.Sprintf("rayon: negative reserved capacity at slice %d", t))
+		}
+		if p.used[t] == 0 {
+			delete(p.used, t)
+		}
+	}
+	delete(p.accepted, r.JobID)
+}
+
+// Reserved returns the reserved node count for the slice containing time t.
+func (p *Plan) Reserved(t int64) int { return p.used[t/p.quantum] }
+
+// Lookup returns the live reservation for a job, if any.
+func (p *Plan) Lookup(jobID int) *Reservation { return p.accepted[jobID] }
+
+// MaxReserved returns the maximum reserved capacity over [from, to); used by
+// tests to verify the plan never overcommits.
+func (p *Plan) MaxReserved(from, to int64) int {
+	mx := 0
+	for s := from / p.quantum; s <= to/p.quantum; s++ {
+		if p.used[s] > mx {
+			mx = p.used[s]
+		}
+	}
+	return mx
+}

@@ -1,0 +1,144 @@
+package rayon
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdmitBasic(t *testing.T) {
+	p := NewPlan(10, 4)
+	r := p.Admit(1, 0, 100, 5, 20)
+	if r == nil {
+		t.Fatal("admit failed on empty plan")
+	}
+	if r.Start != 0 || r.End != 20 {
+		t.Errorf("reservation window = [%d,%d), want [0,20)", r.Start, r.End)
+	}
+	if p.Reserved(10) != 5 {
+		t.Errorf("reserved at t=10 is %d, want 5", p.Reserved(10))
+	}
+	if p.Lookup(1) != r {
+		t.Errorf("lookup failed")
+	}
+}
+
+func TestAdmitDefersWhenFull(t *testing.T) {
+	p := NewPlan(10, 4)
+	if p.Admit(1, 0, 1000, 10, 40) == nil {
+		t.Fatal("first admit failed")
+	}
+	// Second job can't overlap [0,40); earliest start is 40.
+	r := p.Admit(2, 0, 1000, 10, 40)
+	if r == nil {
+		t.Fatal("second admit failed")
+	}
+	if r.Start != 40 {
+		t.Errorf("second reservation starts at %d, want 40", r.Start)
+	}
+}
+
+func TestAdmitRejects(t *testing.T) {
+	p := NewPlan(10, 4)
+	if p.Admit(1, 0, 1000, 10, 40) == nil {
+		t.Fatal("setup admit failed")
+	}
+	// Deadline too tight to fit after the existing reservation.
+	if r := p.Admit(2, 0, 60, 10, 40); r != nil {
+		t.Errorf("admit should reject: got [%d,%d)", r.Start, r.End)
+	}
+	// k larger than capacity.
+	if p.Admit(3, 0, 1000, 11, 4) != nil {
+		t.Errorf("k > capacity accepted")
+	}
+	// Zero duration.
+	if p.Admit(4, 0, 1000, 1, 0) != nil {
+		t.Errorf("zero duration accepted")
+	}
+}
+
+func TestArrivalQuantization(t *testing.T) {
+	p := NewPlan(4, 10)
+	// Arrival mid-slice: reservation must not start before the arrival.
+	r := p.Admit(1, 15, 100, 2, 10)
+	if r == nil {
+		t.Fatal("admit failed")
+	}
+	if r.Start < 15 {
+		t.Errorf("reservation starts at %d, before arrival 15", r.Start)
+	}
+}
+
+func TestReleaseFreesCapacity(t *testing.T) {
+	p := NewPlan(10, 4)
+	r := p.Admit(1, 0, 1000, 10, 40)
+	if r == nil {
+		t.Fatal("admit failed")
+	}
+	// Job finishes at t=20: the remainder of the window frees up.
+	p.Release(r, 20)
+	if p.Lookup(1) != nil {
+		t.Errorf("reservation still live after release")
+	}
+	if got := p.Reserved(24); got != 0 {
+		t.Errorf("reserved after release = %d, want 0", got)
+	}
+	// Double release is a no-op.
+	p.Release(r, 20)
+	// Capacity [20,40) is available again.
+	r2 := p.Admit(2, 0, 1000, 10, 20)
+	if r2 == nil || r2.Start != 20 {
+		t.Fatalf("freed capacity not reusable: %+v", r2)
+	}
+}
+
+func TestNeverOvercommitsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		capacity := 1 + r.Intn(20)
+		p := NewPlan(capacity, 1+int64(r.Intn(5)))
+		type res struct {
+			r        *Reservation
+			deadline int64
+		}
+		var live []res
+		now := int64(0)
+		for i := 0; i < 60; i++ {
+			now += int64(r.Intn(10))
+			switch r.Intn(3) {
+			case 0, 1:
+				k := 1 + r.Intn(capacity)
+				dur := 1 + int64(r.Intn(30))
+				deadline := now + dur + int64(r.Intn(100))
+				if rv := p.Admit(i, now, deadline, k, dur); rv != nil {
+					if rv.Start < now || rv.End > deadline+p.Quantum() {
+						return false // window must respect arrival/deadline
+					}
+					live = append(live, res{rv, deadline})
+				}
+			case 2:
+				if len(live) > 0 {
+					idx := r.Intn(len(live))
+					p.Release(live[idx].r, now)
+					live = append(live[:idx], live[idx+1:]...)
+				}
+			}
+			if p.MaxReserved(0, now+1000) > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPlanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("NewPlan(0, …) did not panic")
+		}
+	}()
+	NewPlan(0, 4)
+}

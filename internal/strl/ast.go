@@ -1,0 +1,220 @@
+// Package strl implements the Space-Time Request Language of the TetriSched
+// paper (§4): an algebra of resource requests whose leaves ask for "any k
+// nodes from an equivalence set, starting at s for duration d, worth v", and
+// whose operators compose choices (MAX), conjunctions (MIN), aggregation
+// (SUM), and value shaping (SCALE, BARRIER).
+//
+// A STRL expression is a function from resource space-time allocations to
+// scalar value; positive value means the expression is satisfied. The
+// evaluator in this package defines those semantics directly and serves as
+// the ground truth against which the MILP compilation is property-tested.
+package strl
+
+import (
+	"fmt"
+	"strings"
+
+	"tetrisched/internal/bitset"
+)
+
+// Expr is a node of a STRL expression tree.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// NCk is the principal STRL primitive: choose any K nodes out of Set,
+// occupying them from Start for Dur time quanta, yielding Value if satisfied.
+// It expresses both hard constraints (alone) and, composed under Max, soft
+// ones.
+type NCk struct {
+	Set   *bitset.Set
+	K     int
+	Start int64
+	Dur   int64
+	Value float64
+}
+
+// LnCk is the "Linear n choose k" primitive: it accepts any count c ≤ K from
+// Set and yields Value·c/K, suppressing the enumeration of same-set
+// same-duration options that differ only in k (§4.1).
+type LnCk struct {
+	Set   *bitset.Set
+	K     int
+	Start int64
+	Dur   int64
+	Value float64
+}
+
+// Max yields the value of its single chosen subexpression: OR semantics,
+// used to offer alternative placements or start times.
+type Max struct{ Kids []Expr }
+
+// Min yields the minimum value across its subexpressions, all of which must
+// be satisfied together: AND semantics, used for anti-affinity and gangs
+// spanning distinct domains.
+type Min struct{ Kids []Expr }
+
+// Sum yields the sum of its subexpressions' values; the top-level aggregator
+// for global scheduling.
+type Sum struct{ Kids []Expr }
+
+// Scale multiplies the value of its subexpression by S.
+type Scale struct {
+	Kid Expr
+	S   float64
+}
+
+// Barrier yields V iff its subexpression's value reaches V, else 0.
+type Barrier struct {
+	Kid Expr
+	V   float64
+}
+
+func (*NCk) exprNode()     {}
+func (*LnCk) exprNode()    {}
+func (*Max) exprNode()     {}
+func (*Min) exprNode()     {}
+func (*Sum) exprNode()     {}
+func (*Scale) exprNode()   {}
+func (*Barrier) exprNode() {}
+
+// String renders the expression in the parseable textual syntax.
+func (e *NCk) String() string {
+	return fmt.Sprintf("nCk(%s, k=%d, start=%d, dur=%d, v=%g)", setString(e.Set), e.K, e.Start, e.Dur, e.Value)
+}
+
+func (e *LnCk) String() string {
+	return fmt.Sprintf("LnCk(%s, k=%d, start=%d, dur=%d, v=%g)", setString(e.Set), e.K, e.Start, e.Dur, e.Value)
+}
+
+func (e *Max) String() string { return opString("max", e.Kids) }
+func (e *Min) String() string { return opString("min", e.Kids) }
+func (e *Sum) String() string { return opString("sum", e.Kids) }
+
+func (e *Scale) String() string   { return fmt.Sprintf("scale(%s, %g)", e.Kid, e.S) }
+func (e *Barrier) String() string { return fmt.Sprintf("barrier(%s, %g)", e.Kid, e.V) }
+
+func opString(op string, kids []Expr) string {
+	parts := make([]string, len(kids))
+	for i, k := range kids {
+		parts[i] = k.String()
+	}
+	return op + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func setString(s *bitset.Set) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Leaves returns the NCk/LnCk leaves of e in depth-first order.
+func Leaves(e Expr) []Expr {
+	var out []Expr
+	Walk(e, func(x Expr) {
+		switch x.(type) {
+		case *NCk, *LnCk:
+			out = append(out, x)
+		}
+	})
+	return out
+}
+
+// Walk visits every node of e in depth-first pre-order.
+func Walk(e Expr, fn func(Expr)) {
+	fn(e)
+	switch x := e.(type) {
+	case *Max:
+		for _, k := range x.Kids {
+			Walk(k, fn)
+		}
+	case *Min:
+		for _, k := range x.Kids {
+			Walk(k, fn)
+		}
+	case *Sum:
+		for _, k := range x.Kids {
+			Walk(k, fn)
+		}
+	case *Scale:
+		Walk(x.Kid, fn)
+	case *Barrier:
+		Walk(x.Kid, fn)
+	}
+}
+
+// Horizon returns the latest end time (start+dur) across all leaves, i.e.
+// the extent of the plan-ahead window the expression requires.
+func Horizon(e Expr) int64 {
+	var h int64
+	Walk(e, func(x Expr) {
+		switch l := x.(type) {
+		case *NCk:
+			if t := l.Start + l.Dur; t > h {
+				h = t
+			}
+		case *LnCk:
+			if t := l.Start + l.Dur; t > h {
+				h = t
+			}
+		}
+	})
+	return h
+}
+
+// Validate checks structural sanity: positive k, nonnegative durations,
+// nonempty sets large enough to ever satisfy the leaf, operators nonempty.
+func Validate(e Expr) error {
+	var err error
+	Walk(e, func(x Expr) {
+		if err != nil {
+			return
+		}
+		switch l := x.(type) {
+		case *NCk:
+			err = validateLeaf(l.Set, l.K, l.Dur, "nCk")
+		case *LnCk:
+			err = validateLeaf(l.Set, l.K, l.Dur, "LnCk")
+		case *Max:
+			if len(l.Kids) == 0 {
+				err = fmt.Errorf("strl: empty max")
+			}
+		case *Min:
+			if len(l.Kids) == 0 {
+				err = fmt.Errorf("strl: empty min")
+			}
+		case *Sum:
+			if len(l.Kids) == 0 {
+				err = fmt.Errorf("strl: empty sum")
+			}
+		}
+	})
+	return err
+}
+
+func validateLeaf(set *bitset.Set, k int, dur int64, kind string) error {
+	if set == nil {
+		return fmt.Errorf("strl: %s with nil set", kind)
+	}
+	if k <= 0 {
+		return fmt.Errorf("strl: %s with k=%d", kind, k)
+	}
+	if dur <= 0 {
+		return fmt.Errorf("strl: %s with dur=%d", kind, dur)
+	}
+	if set.Count() < k && kind == "nCk" {
+		return fmt.Errorf("strl: nCk requests k=%d from set of %d", k, set.Count())
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package strl
+
+import (
+	"fmt"
+	"math"
+)
+
+// Assignment maps each leaf (by pointer identity) to the number of nodes
+// granted to it. Leaves absent from the map receive zero. An assignment
+// describes *how much* each leaf gets; whether concrete nodes exist to honor
+// it is a separate supply question answered by the compiler/solver.
+type Assignment map[Expr]int
+
+// Eval computes the value of e under the assignment, enforcing STRL
+// structural semantics:
+//
+//   - nCk yields Value if granted exactly K nodes, 0 if granted none; any
+//     other grant is invalid.
+//   - LnCk yields Value·c/K for a grant c ∈ [0, K].
+//   - max allows at most one child to hold a grant and yields its value.
+//   - min yields the minimum child value.
+//   - sum yields the sum of child values.
+//   - scale multiplies; barrier thresholds at V.
+//
+// Invalid assignments (partial nCk grants, multiple active max branches)
+// return an error.
+func Eval(e Expr, a Assignment) (float64, error) {
+	switch x := e.(type) {
+	case *NCk:
+		c := a[x]
+		switch c {
+		case 0:
+			return 0, nil
+		case x.K:
+			return x.Value, nil
+		default:
+			return 0, fmt.Errorf("strl: nCk granted %d nodes, need 0 or %d", c, x.K)
+		}
+	case *LnCk:
+		c := a[x]
+		if c < 0 || c > x.K {
+			return 0, fmt.Errorf("strl: LnCk granted %d nodes, need 0..%d", c, x.K)
+		}
+		return x.Value * float64(c) / float64(x.K), nil
+	case *Max:
+		best := 0.0
+		active := 0
+		for _, k := range x.Kids {
+			v, err := Eval(k, a)
+			if err != nil {
+				return 0, err
+			}
+			if anyGrant(k, a) {
+				active++
+			}
+			if v > best {
+				best = v
+			}
+		}
+		if active > 1 {
+			return 0, fmt.Errorf("strl: max with %d active branches", active)
+		}
+		return best, nil
+	case *Min:
+		mn := math.Inf(1)
+		for _, k := range x.Kids {
+			v, err := Eval(k, a)
+			if err != nil {
+				return 0, err
+			}
+			mn = math.Min(mn, v)
+		}
+		if math.IsInf(mn, 1) {
+			return 0, nil
+		}
+		return mn, nil
+	case *Sum:
+		total := 0.0
+		for _, k := range x.Kids {
+			v, err := Eval(k, a)
+			if err != nil {
+				return 0, err
+			}
+			total += v
+		}
+		return total, nil
+	case *Scale:
+		v, err := Eval(x.Kid, a)
+		if err != nil {
+			return 0, err
+		}
+		return x.S * v, nil
+	case *Barrier:
+		v, err := Eval(x.Kid, a)
+		if err != nil {
+			return 0, err
+		}
+		if v >= x.V {
+			return x.V, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("strl: unknown expression type %T", e)
+}
+
+// anyGrant reports whether any leaf under e holds a nonzero grant.
+func anyGrant(e Expr, a Assignment) bool {
+	found := false
+	Walk(e, func(x Expr) {
+		switch x.(type) {
+		case *NCk, *LnCk:
+			if a[x] != 0 {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// Satisfied reports whether the expression yields positive value under a.
+func Satisfied(e Expr, a Assignment) (bool, error) {
+	v, err := Eval(e, a)
+	return v > 0, err
+}

@@ -1,0 +1,60 @@
+package strl
+
+import (
+	"fmt"
+	"strings"
+
+	"tetrisched/internal/bitset"
+	"tetrisched/internal/cluster"
+)
+
+// ClusterResolver resolves symbolic set names against a cluster:
+//
+//	"*"            all nodes
+//	"rack:NAME"    the nodes of a rack
+//	"attr:K=V"     nodes carrying attribute K=V
+//	"node:NAME"    a single node by name
+//	"NAME"         shorthand for attr:NAME=true, then rack:NAME
+type ClusterResolver struct {
+	C *cluster.Cluster
+}
+
+// Universe implements Resolver.
+func (r ClusterResolver) Universe() int { return r.C.N() }
+
+// ResolveSet implements Resolver.
+func (r ClusterResolver) ResolveSet(name string) (*bitset.Set, error) {
+	switch {
+	case name == "*":
+		return r.C.All(), nil
+	case strings.HasPrefix(name, "rack:"):
+		s := r.C.Rack(strings.TrimPrefix(name, "rack:"))
+		if s == nil {
+			return nil, fmt.Errorf("strl: unknown rack %q", name)
+		}
+		return s, nil
+	case strings.HasPrefix(name, "attr:"):
+		kv := strings.TrimPrefix(name, "attr:")
+		i := strings.IndexByte(kv, '=')
+		if i < 0 {
+			return nil, fmt.Errorf("strl: attr set %q must be attr:key=value", name)
+		}
+		return r.C.WithAttr(kv[:i], kv[i+1:]), nil
+	case strings.HasPrefix(name, "node:"):
+		want := strings.TrimPrefix(name, "node:")
+		for i := 0; i < r.C.N(); i++ {
+			if r.C.Node(cluster.NodeID(i)).Name == want {
+				return bitset.FromIndices(r.C.N(), i), nil
+			}
+		}
+		return nil, fmt.Errorf("strl: unknown node %q", want)
+	default:
+		if s := r.C.WithAttr(name, "true"); !s.Empty() {
+			return s, nil
+		}
+		if s := r.C.Rack(name); s != nil {
+			return s, nil
+		}
+		return nil, fmt.Errorf("strl: cannot resolve set %q", name)
+	}
+}

@@ -1,0 +1,302 @@
+package strl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tetrisched/internal/bitset"
+	"tetrisched/internal/cluster"
+)
+
+func set(n int, ids ...int) *bitset.Set { return bitset.FromIndices(n, ids...) }
+
+func TestEvalNCk(t *testing.T) {
+	leaf := &NCk{Set: set(4, 0, 1), K: 2, Start: 0, Dur: 2, Value: 4}
+	if v, err := Eval(leaf, Assignment{}); err != nil || v != 0 {
+		t.Errorf("ungranted nCk = %v, %v", v, err)
+	}
+	if v, err := Eval(leaf, Assignment{leaf: 2}); err != nil || v != 4 {
+		t.Errorf("granted nCk = %v, %v", v, err)
+	}
+	if _, err := Eval(leaf, Assignment{leaf: 1}); err == nil {
+		t.Errorf("partial nCk grant should error")
+	}
+}
+
+func TestEvalLnCk(t *testing.T) {
+	leaf := &LnCk{Set: set(4, 0, 1, 2, 3), K: 4, Value: 8}
+	if v, _ := Eval(leaf, Assignment{leaf: 2}); v != 4 {
+		t.Errorf("LnCk half grant = %v, want 4", v)
+	}
+	if _, err := Eval(leaf, Assignment{leaf: 5}); err == nil {
+		t.Errorf("over-grant should error")
+	}
+}
+
+func TestEvalMaxChoosesBest(t *testing.T) {
+	a := &NCk{Set: set(4, 0, 1), K: 2, Dur: 2, Value: 4}
+	b := &NCk{Set: set(4, 0, 1, 2, 3), K: 2, Dur: 3, Value: 3}
+	m := &Max{Kids: []Expr{a, b}}
+	if v, err := Eval(m, Assignment{a: 2}); err != nil || v != 4 {
+		t.Errorf("max(a) = %v, %v", v, err)
+	}
+	if v, err := Eval(m, Assignment{b: 2}); err != nil || v != 3 {
+		t.Errorf("max(b) = %v, %v", v, err)
+	}
+	if _, err := Eval(m, Assignment{a: 2, b: 2}); err == nil {
+		t.Errorf("two active max branches should error")
+	}
+}
+
+func TestEvalMinAntiAffinity(t *testing.T) {
+	// The Availability job from Fig 1: one node on each of two racks.
+	r1 := &NCk{Set: set(4, 0, 1), K: 1, Dur: 3, Value: 5}
+	r2 := &NCk{Set: set(4, 2, 3), K: 1, Dur: 3, Value: 5}
+	m := &Min{Kids: []Expr{r1, r2}}
+	if v, _ := Eval(m, Assignment{r1: 1, r2: 1}); v != 5 {
+		t.Errorf("min both = %v, want 5", v)
+	}
+	if v, _ := Eval(m, Assignment{r1: 1}); v != 0 {
+		t.Errorf("min one = %v, want 0", v)
+	}
+}
+
+func TestEvalSumScaleBarrier(t *testing.T) {
+	a := &NCk{Set: set(2, 0), K: 1, Dur: 1, Value: 2}
+	b := &NCk{Set: set(2, 1), K: 1, Dur: 1, Value: 3}
+	s := &Sum{Kids: []Expr{a, b}}
+	if v, _ := Eval(s, Assignment{a: 1, b: 1}); v != 5 {
+		t.Errorf("sum = %v", v)
+	}
+	sc := &Scale{Kid: s, S: 2}
+	if v, _ := Eval(sc, Assignment{a: 1, b: 1}); v != 10 {
+		t.Errorf("scale = %v", v)
+	}
+	bar := &Barrier{Kid: s, V: 4}
+	if v, _ := Eval(bar, Assignment{a: 1, b: 1}); v != 4 {
+		t.Errorf("barrier met = %v", v)
+	}
+	if v, _ := Eval(bar, Assignment{a: 1}); v != 0 {
+		t.Errorf("barrier unmet = %v", v)
+	}
+}
+
+func TestPaperGPUExample(t *testing.T) {
+	// Fig 3: max(nCk({M1,M2}, 2, s, 2, vG(s+2)), nCk({M1..M4}, 2, s, 3, vG(s+3)))
+	// with vG decreasing: preferred branch wins when granted.
+	pref := &NCk{Set: set(4, 0, 1), K: 2, Start: 0, Dur: 2, Value: 4}
+	any := &NCk{Set: set(4, 0, 1, 2, 3), K: 2, Start: 0, Dur: 3, Value: 3}
+	e := &Max{Kids: []Expr{pref, any}}
+	if err := Validate(e); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if v, _ := Eval(e, Assignment{pref: 2}); v != 4 {
+		t.Errorf("preferred = %v, want 4", v)
+	}
+	if h := Horizon(e); h != 3 {
+		t.Errorf("horizon = %d, want 3", h)
+	}
+	if got := len(Leaves(e)); got != 2 {
+		t.Errorf("leaves = %d", got)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []Expr{
+		&NCk{Set: set(4, 0), K: 2, Dur: 1, Value: 1},    // k > |set|
+		&NCk{Set: set(4, 0, 1), K: 0, Dur: 1, Value: 1}, // k = 0
+		&NCk{Set: set(4, 0, 1), K: 1, Dur: 0, Value: 1}, // dur = 0
+		&Max{},                       // empty
+		&Min{},                       // empty
+		&Sum{},                       // empty
+		&Scale{Kid: &Max{}, S: 2},    // nested empty
+		&NCk{Set: nil, K: 1, Dur: 1}, // nil set
+	}
+	for i, e := range bad {
+		if err := Validate(e); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestParseBasic(t *testing.T) {
+	e, err := Parse("max(nCk({0, 1}, k=2, start=0, dur=2, v=4), nCk({*}, k=2, start=1, dur=3, v=3))", NumericResolver(4))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	m, ok := e.(*Max)
+	if !ok || len(m.Kids) != 2 {
+		t.Fatalf("parsed %T", e)
+	}
+	a := m.Kids[0].(*NCk)
+	if a.K != 2 || a.Start != 0 || a.Dur != 2 || a.Value != 4 || a.Set.Count() != 2 {
+		t.Errorf("leaf a = %+v", a)
+	}
+	b := m.Kids[1].(*NCk)
+	if b.Set.Count() != 4 || b.Start != 1 {
+		t.Errorf("leaf b = %+v", b)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	src := `sum(
+		min(nCk({0}, k=1, dur=1, v=2), nCk({1}, k=1, dur=1, v=2)),
+		scale(LnCk({0,1,2}, k=3, start=2, dur=4, v=6), 1.5),
+		barrier(nCk({2}, k=1, dur=1, v=9), 9))`
+	e, err := Parse(src, NumericResolver(3))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	s, ok := e.(*Sum)
+	if !ok || len(s.Kids) != 3 {
+		t.Fatalf("parsed %T with %d kids", e, len(s.Kids))
+	}
+	if _, ok := s.Kids[0].(*Min); !ok {
+		t.Errorf("kid 0 = %T", s.Kids[0])
+	}
+	sc, ok := s.Kids[1].(*Scale)
+	if !ok || sc.S != 1.5 {
+		t.Errorf("kid 1 = %T %+v", s.Kids[1], s.Kids[1])
+	}
+	if l, ok := sc.Kid.(*LnCk); !ok || l.K != 3 || l.Start != 2 || l.Dur != 4 {
+		t.Errorf("LnCk = %+v", sc.Kid)
+	}
+	if b, ok := s.Kids[2].(*Barrier); !ok || b.V != 9 {
+		t.Errorf("kid 2 = %+v", s.Kids[2])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus(nCk({0}, k=1, dur=1))",
+		"nCk({0}, k=1)",               // missing dur
+		"nCk({9}, k=1, dur=1)",        // node out of range
+		"max()",                       // empty operator
+		"nCk({0}, k=1, dur=1) extra",  // trailing tokens
+		"nCk({unknown}, k=1, dur=1)",  // unresolvable name
+		"scale(nCk({0}, k=1, dur=1))", // missing scalar
+	}
+	for _, src := range cases {
+		if _, err := Parse(src, NumericResolver(4)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestClusterResolver(t *testing.T) {
+	c := cluster.NewBuilder().
+		AddRack("r0", 2, map[string]string{"gpu": "true"}).
+		AddRack("r1", 2, nil).
+		Build()
+	r := ClusterResolver{C: c}
+	e, err := Parse("max(nCk({attr:gpu=true}, k=2, dur=2, v=4), nCk({*}, k=2, dur=3, v=3))", r)
+	if err != nil {
+		t.Fatalf("parse with cluster resolver: %v", err)
+	}
+	leaves := Leaves(e)
+	if leaves[0].(*NCk).Set.Count() != 2 {
+		t.Errorf("gpu set = %v", leaves[0].(*NCk).Set)
+	}
+	for _, src := range []string{
+		"nCk({rack:r1}, k=2, dur=1)",
+		"nCk({gpu}, k=2, dur=1)",
+		"nCk({r0}, k=2, dur=1)",
+		"nCk({node:r1/n0}, k=1, dur=1)",
+	} {
+		if _, err := Parse(src, r); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+	for _, src := range []string{
+		"nCk({rack:nope}, k=1, dur=1)",
+		"nCk({node:nope}, k=1, dur=1)",
+		"nCk({attr:malformed}, k=1, dur=1)",
+	} {
+		if _, err := Parse(src, r); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// randomExpr builds a random STRL tree for round-trip testing.
+func randomExpr(r *rand.Rand, n, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		s := bitset.New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				s.Add(i)
+			}
+		}
+		if s.Empty() {
+			s.Add(r.Intn(n))
+		}
+		k := 1 + r.Intn(s.Count())
+		leaf := rand.Intn(2)
+		if leaf == 0 {
+			return &NCk{Set: s, K: k, Start: int64(r.Intn(5)), Dur: 1 + int64(r.Intn(4)), Value: float64(r.Intn(10) + 1)}
+		}
+		return &LnCk{Set: s, K: k, Start: int64(r.Intn(5)), Dur: 1 + int64(r.Intn(4)), Value: float64(r.Intn(10) + 1)}
+	}
+	nk := 1 + r.Intn(3)
+	kids := make([]Expr, nk)
+	for i := range kids {
+		kids[i] = randomExpr(r, n, depth-1)
+	}
+	switch r.Intn(5) {
+	case 0:
+		return &Max{Kids: kids}
+	case 1:
+		return &Min{Kids: kids}
+	case 2:
+		return &Sum{Kids: kids}
+	case 3:
+		return &Scale{Kid: kids[0], S: float64(1 + r.Intn(5))}
+	default:
+		return &Barrier{Kid: kids[0], V: float64(1 + r.Intn(5))}
+	}
+}
+
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		e := randomExpr(r, n, 3)
+		text := e.String()
+		parsed, err := Parse(text, NumericResolver(n))
+		if err != nil {
+			t.Logf("seed %d: parse error %v on %q", seed, err, text)
+			return false
+		}
+		if parsed.String() != text {
+			t.Logf("seed %d: round trip mismatch:\n  in:  %s\n  out: %s", seed, text, parsed.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	a := &NCk{Set: set(2, 0), K: 1, Dur: 1}
+	b := &NCk{Set: set(2, 1), K: 1, Dur: 1}
+	e := &Sum{Kids: []Expr{&Scale{Kid: a, S: 2}, b}}
+	var kinds []string
+	Walk(e, func(x Expr) {
+		switch x.(type) {
+		case *Sum:
+			kinds = append(kinds, "sum")
+		case *Scale:
+			kinds = append(kinds, "scale")
+		case *NCk:
+			kinds = append(kinds, "nck")
+		}
+	})
+	if strings.Join(kinds, ",") != "sum,scale,nck,nck" {
+		t.Errorf("walk order = %v", kinds)
+	}
+}

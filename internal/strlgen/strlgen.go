@@ -1,0 +1,337 @@
+// Package strlgen is the STRL Generator (§3.1, §4.4): it combines a pending
+// job's placement-preference type with its reservation-supplied deadline,
+// runtime estimate, and priority signal to emit a STRL expression offering
+// every feasible (placement, start-time) option inside the plan-ahead
+// window, each valued by the class value function of Fig 5.
+package strlgen
+
+import (
+	"fmt"
+
+	"tetrisched/internal/bitset"
+	"tetrisched/internal/cluster"
+	"tetrisched/internal/strl"
+	"tetrisched/internal/workload"
+)
+
+// Config tunes STRL generation.
+type Config struct {
+	// Quantum is seconds per time slice; equals the scheduling cycle period
+	// so the window shifts one slice per cycle.
+	Quantum int64
+	// PlanAheadSlices is the window size in slices (≥1; 1 disables deferred
+	// placement, the TetriSched-NP / alsched configuration).
+	PlanAheadSlices int64
+	// MaxStartChoices caps the number of start-time options per placement;
+	// starts are strided across the window when it exceeds the cap. This is
+	// the expression-growth culling of §3.2.1.
+	MaxStartChoices int
+	// FallbackStartChoices caps start-time options for non-preferred
+	// fallback placements, which span many partition groups and dominate
+	// MILP size; preferred placements keep the full resolution.
+	FallbackStartChoices int
+	// MaxRackChoices caps how many rack-local options an MPI job offers;
+	// racks are rotated by job ID so the population still covers the whole
+	// cluster.
+	MaxRackChoices int
+	// NoHeterogeneity disables placement preferences (TetriSched-NH): every
+	// job asks for k nodes from the whole cluster with a conservatively
+	// slowed duration estimate (§6.3).
+	NoHeterogeneity bool
+
+	// Value function parameters (Fig 5).
+	ValueAcceptedSLO float64 // default 1000
+	ValueSLONoRes    float64 // default 25
+	ValueBE          float64 // default 1
+	// BEDecay is the time for a best-effort job's value to decay linearly
+	// from ValueBE toward BEFloor.
+	BEDecay int64
+	BEFloor float64
+	// EarlinessEps breaks ties among equal-valued options in favor of
+	// earlier *completion* (fraction of value per slice of completion
+	// delay): a job that can finish sooner by briefly waiting for preferred
+	// resources is worth slightly more than one that starts now on slow
+	// ones, which is exactly the deferral tradeoff of §2.3.2.
+	EarlinessEps float64
+}
+
+// Default returns the paper's configuration for the given quantum and
+// plan-ahead window (both seconds).
+func Default(quantum, planAhead int64) Config {
+	slices := planAhead / quantum
+	if slices < 1 {
+		slices = 1
+	}
+	return Config{
+		Quantum:              quantum,
+		PlanAheadSlices:      slices,
+		MaxStartChoices:      12,
+		FallbackStartChoices: 4,
+		MaxRackChoices:       4,
+		ValueAcceptedSLO:     1000,
+		ValueSLONoRes:        25,
+		ValueBE:              1,
+		BEDecay:              3600,
+		BEFloor:              0.01,
+		EarlinessEps:         0.001,
+	}
+}
+
+// Option is one (placement, start) choice offered to the solver.
+type Option struct {
+	// Key identifies the placement independent of start time ("pref", "any",
+	// "rack:r3"), used to match choices across cycles for warm starts.
+	Key string
+	// Preferred marks the fast placement.
+	Preferred bool
+	// StartSlice is the option's start slice within this cycle's window.
+	StartSlice int64
+	// EstDur is the believed runtime in seconds on this placement.
+	EstDur int64
+	// Leaf is the compiled STRL leaf.
+	Leaf *strl.NCk
+}
+
+// Request is a generated job request: the expression handed to the compiler
+// plus the option list used for decoding and warm starts.
+type Request struct {
+	Job     *workload.Job
+	Expr    strl.Expr
+	Options []*Option
+}
+
+// OptionFor returns the option owning the given leaf, if any.
+func (r *Request) OptionFor(leaf strl.Expr) *Option {
+	for _, o := range r.Options {
+		if strl.Expr(o.Leaf) == leaf {
+			return o
+		}
+	}
+	return nil
+}
+
+// Generator emits STRL requests for one cluster.
+type Generator struct {
+	cfg  Config
+	c    *cluster.Cluster
+	all  *bitset.Set
+	gpus *bitset.Set
+	rack map[string]*bitset.Set
+}
+
+// New builds a Generator.
+func New(c *cluster.Cluster, cfg Config) *Generator {
+	if cfg.Quantum <= 0 {
+		panic("strlgen: quantum must be positive")
+	}
+	if cfg.PlanAheadSlices < 1 {
+		cfg.PlanAheadSlices = 1
+	}
+	if cfg.MaxStartChoices < 1 {
+		cfg.MaxStartChoices = 1
+	}
+	gk, gv := cluster.GPUAttr()
+	g := &Generator{cfg: cfg, c: c, all: c.All(), gpus: c.WithAttr(gk, gv), rack: map[string]*bitset.Set{}}
+	for _, r := range c.Racks() {
+		g.rack[r] = c.Rack(r)
+	}
+	return g
+}
+
+// placement is an internal placement candidate.
+type placement struct {
+	key       string
+	set       *bitset.Set
+	preferred bool
+	width     int // gang width; 0 means the job's full K
+}
+
+// placements enumerates the candidate placements for a job type.
+func (g *Generator) placements(j *workload.Job) []placement {
+	if g.cfg.NoHeterogeneity {
+		return []placement{{key: "any", set: g.all, preferred: j.Type == workload.Unconstrained}}
+	}
+	switch j.Type {
+	case workload.Elastic:
+		// Space-time elasticity (§4.1): offer a few gang widths as MAX
+		// alternatives; narrower widths run proportionally longer.
+		lo, hi := j.WidthRange()
+		widths := []int{hi}
+		if lo < hi {
+			if mid := (lo + hi) / 2; mid > lo && mid < hi {
+				widths = append(widths, mid)
+			}
+			widths = append(widths, lo)
+		}
+		var out []placement
+		for _, m := range widths {
+			out = append(out, placement{
+				key: fmt.Sprintf("any-w%d", m), set: g.all, preferred: true, width: m,
+			})
+		}
+		return out
+	case workload.GPU:
+		var out []placement
+		if g.gpus.Count() >= j.K {
+			out = append(out, placement{key: "pref", set: g.gpus, preferred: true})
+		}
+		out = append(out, placement{key: "any", set: g.all, preferred: false})
+		return out
+	case workload.DataLocal:
+		var out []placement
+		if len(j.DataNodes) >= j.K {
+			set := bitset.New(g.c.N())
+			for _, n := range j.DataNodes {
+				if n >= 0 && n < g.c.N() {
+					set.Add(n)
+				}
+			}
+			if set.Count() >= j.K {
+				out = append(out, placement{key: "data", set: set, preferred: true})
+			}
+		}
+		out = append(out, placement{key: "any", set: g.all, preferred: false})
+		return out
+	case workload.MPI:
+		var out []placement
+		racks := g.c.Racks()
+		max := g.cfg.MaxRackChoices
+		if max <= 0 || max > len(racks) {
+			max = len(racks)
+		}
+		// Rotate the rack window by job ID: each job sees a bounded number of
+		// equivalent rack options (they are interchangeable from the job's
+		// perspective, §4.2) while the job population covers every rack.
+		for i := 0; i < len(racks) && max > 0; i++ {
+			r := racks[(i+j.ID)%len(racks)]
+			if set := g.rack[r]; set.Count() >= j.K {
+				out = append(out, placement{key: "rack:" + r, set: set, preferred: true})
+				max--
+			}
+		}
+		out = append(out, placement{key: "any", set: g.all, preferred: false})
+		return out
+	default:
+		return []placement{{key: "any", set: g.all, preferred: true}}
+	}
+}
+
+// value applies the Fig 5 value functions for a completion at time
+// `completion` (absolute seconds), scaled by the job's priority. Zero means
+// the option is worthless and is culled.
+func (g *Generator) value(j *workload.Job, completion int64) float64 {
+	return g.priority(j) * g.baseValue(j, completion)
+}
+
+func (g *Generator) priority(j *workload.Job) float64 {
+	if j.Priority > 0 {
+		return j.Priority
+	}
+	return 1
+}
+
+func (g *Generator) baseValue(j *workload.Job, completion int64) float64 {
+	switch {
+	case j.Class == workload.SLO && j.Reserved:
+		if completion <= j.Deadline {
+			return g.cfg.ValueAcceptedSLO
+		}
+		return 0
+	case j.Class == workload.SLO:
+		if completion <= j.Deadline {
+			return g.cfg.ValueSLONoRes
+		}
+		return 0
+	default:
+		frac := 1 - float64(completion-j.Submit)/float64(g.cfg.BEDecay)
+		v := g.cfg.ValueBE * frac
+		if v < g.cfg.BEFloor {
+			v = g.cfg.BEFloor
+		}
+		return v
+	}
+}
+
+// Generate builds the job's request for the cycle starting at `now`.
+// It returns nil when the job has no option of positive value — for an SLO
+// job that means its deadline can no longer be met under current estimates
+// and the scheduler should cull it (it will never regain value).
+func (g *Generator) Generate(now int64, j *workload.Job) *Request {
+	if j.K <= 0 || j.K > g.all.Count() {
+		return nil // unsatisfiable on this cluster
+	}
+	placements := g.placements(j)
+	strideFor := func(budget int) int64 {
+		if budget < 1 {
+			budget = 1
+		}
+		if int(g.cfg.PlanAheadSlices) > budget {
+			return (g.cfg.PlanAheadSlices + int64(budget) - 1) / int64(budget)
+		}
+		return 1
+	}
+	req := &Request{Job: j}
+	for _, p := range placements {
+		budget := g.cfg.MaxStartChoices
+		if !p.preferred && len(placements) > 1 && g.cfg.FallbackStartChoices > 0 {
+			budget = g.cfg.FallbackStartChoices
+		}
+		stride := strideFor(budget)
+		width := j.K
+		if p.width > 0 {
+			width = p.width
+		}
+		est := j.EstRuntime(p.preferred)
+		if p.width > 0 && p.width < j.K {
+			// Elastic width scaling on the believed runtime.
+			est = (est*int64(j.K) + int64(p.width) - 1) / int64(p.width)
+		}
+		if g.cfg.NoHeterogeneity && j.Type != workload.Unconstrained && j.Type != workload.Elastic {
+			// NH plans conservatively with the slowed estimate (§6.3).
+			est = j.EstRuntime(false)
+		}
+		durSlices := (est + g.cfg.Quantum - 1) / g.cfg.Quantum
+		for s := int64(0); s < g.cfg.PlanAheadSlices; s += stride {
+			completion := now + s*g.cfg.Quantum + est
+			v := g.value(j, completion)
+			if v <= 0 {
+				// Later starts only complete later; stop enumerating this
+				// placement (deadline culling, §3.2.1).
+				break
+			}
+			delaySlices := float64(completion-now) / float64(g.cfg.Quantum)
+			factor := 1 - g.cfg.EarlinessEps*delaySlices
+			if factor < 0.1 {
+				factor = 0.1
+			}
+			v *= factor
+			leaf := &strl.NCk{Set: p.set, K: width, Start: s, Dur: durSlices, Value: v}
+			req.Options = append(req.Options, &Option{
+				Key:        p.key,
+				Preferred:  p.preferred,
+				StartSlice: s,
+				EstDur:     est,
+				Leaf:       leaf,
+			})
+		}
+	}
+	if len(req.Options) == 0 {
+		return nil
+	}
+	if len(req.Options) == 1 {
+		req.Expr = req.Options[0].Leaf
+		return req
+	}
+	kids := make([]strl.Expr, len(req.Options))
+	for i, o := range req.Options {
+		kids[i] = o.Leaf
+	}
+	req.Expr = &strl.Max{Kids: kids}
+	return req
+}
+
+// String describes the generator configuration.
+func (g *Generator) String() string {
+	return fmt.Sprintf("strlgen{quantum=%ds window=%d slices noHet=%v}",
+		g.cfg.Quantum, g.cfg.PlanAheadSlices, g.cfg.NoHeterogeneity)
+}

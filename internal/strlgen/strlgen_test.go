@@ -1,0 +1,302 @@
+package strlgen
+
+import (
+	"testing"
+
+	"tetrisched/internal/cluster"
+	"tetrisched/internal/strl"
+	"tetrisched/internal/workload"
+)
+
+func gpuJob(k int) *workload.Job {
+	return &workload.Job{
+		ID: 1, Class: workload.SLO, Type: workload.GPU, Reserved: true,
+		Submit: 0, K: k, BaseRuntime: 20, Slowdown: 1.5, Deadline: 200,
+	}
+}
+
+func TestGPUOptions(t *testing.T) {
+	c := cluster.RC80(true)
+	g := New(c, Default(4, 40)) // 10 slices
+	req := g.Generate(0, gpuJob(4))
+	if req == nil {
+		t.Fatal("nil request")
+	}
+	var pref, any int
+	for _, o := range req.Options {
+		switch o.Key {
+		case "pref":
+			pref++
+			if !o.Preferred {
+				t.Errorf("pref option not marked preferred")
+			}
+			if o.EstDur != 20 {
+				t.Errorf("pref est = %d, want 20", o.EstDur)
+			}
+			if o.Leaf.Set.Count() != 20 { // RC80 het: 2 racks × 10 GPU nodes
+				t.Errorf("pref set size = %d, want 20", o.Leaf.Set.Count())
+			}
+		case "any":
+			any++
+			if o.Preferred {
+				t.Errorf("fallback marked preferred")
+			}
+			if o.EstDur != 30 {
+				t.Errorf("fallback est = %d, want 30 (slowdown 1.5)", o.EstDur)
+			}
+		default:
+			t.Errorf("unexpected option key %q", o.Key)
+		}
+	}
+	// Preferred placements get full start resolution; fallbacks are capped
+	// at FallbackStartChoices (default 4) to bound MILP size.
+	if pref != 10 || any != 4 {
+		t.Errorf("options pref=%d any=%d, want 10/4", pref, any)
+	}
+	if _, ok := req.Expr.(*strl.Max); !ok {
+		t.Errorf("expr is %T, want max", req.Expr)
+	}
+	// Every option must be recoverable from its leaf.
+	for _, o := range req.Options {
+		if req.OptionFor(o.Leaf) != o {
+			t.Errorf("OptionFor failed for %q@%d", o.Key, o.StartSlice)
+		}
+	}
+}
+
+func TestMPIOptionsPerRack(t *testing.T) {
+	c := cluster.RC80(false)
+	g := New(c, Default(4, 8)) // 2 slices
+	j := &workload.Job{Class: workload.BestEffort, Type: workload.MPI, K: 4, BaseRuntime: 40, Slowdown: 2}
+	req := g.Generate(0, j)
+	if req == nil {
+		t.Fatal("nil request")
+	}
+	racks := map[string]bool{}
+	for _, o := range req.Options {
+		if o.Key != "any" {
+			racks[o.Key] = true
+			if o.EstDur != 40 {
+				t.Errorf("rack option est = %d", o.EstDur)
+			}
+			if o.Leaf.Set.Count() != 10 {
+				t.Errorf("rack set size = %d", o.Leaf.Set.Count())
+			}
+		}
+	}
+	// Rack options are capped at MaxRackChoices (default 4); racks are
+	// interchangeable equivalence sets, so the cap loses little.
+	if len(racks) != 4 {
+		t.Errorf("rack options for %d racks, want 4", len(racks))
+	}
+}
+
+// TestMPIRackRotation: different jobs see different rack windows so the
+// population covers the cluster.
+func TestMPIRackRotation(t *testing.T) {
+	c := cluster.RC80(false)
+	g := New(c, Default(4, 8))
+	seen := map[string]bool{}
+	for id := 0; id < 8; id++ {
+		j := &workload.Job{ID: id, Class: workload.BestEffort, Type: workload.MPI, K: 4, BaseRuntime: 40, Slowdown: 2}
+		req := g.Generate(0, j)
+		for _, o := range req.Options {
+			if o.Key != "any" {
+				seen[o.Key] = true
+			}
+		}
+	}
+	if len(seen) != 8 {
+		t.Errorf("rotation covered %d racks, want all 8: %v", len(seen), seen)
+	}
+}
+
+func TestDeadlineCulling(t *testing.T) {
+	c := cluster.RC80(true)
+	g := New(c, Default(4, 400))
+	j := gpuJob(4)
+	j.Deadline = 40 // only early starts on preferred nodes can make it
+	req := g.Generate(0, j)
+	if req == nil {
+		t.Fatal("nil request")
+	}
+	for _, o := range req.Options {
+		completion := o.StartSlice*4 + o.EstDur
+		if completion > j.Deadline {
+			t.Errorf("option %q@%d completes at %d after deadline %d", o.Key, o.StartSlice, completion, j.Deadline)
+		}
+	}
+	// Preferred (20s est): starts 0..5 viable (start 20s + 20 = 40). Fallback
+	// (30s est): starts 0..2 viable.
+	if len(req.Options) == 0 {
+		t.Fatal("no options survived culling")
+	}
+
+	// Deadline unreachable → nil (drop signal).
+	j2 := gpuJob(4)
+	j2.Deadline = 10
+	if req := g.Generate(0, j2); req != nil {
+		t.Errorf("expected nil request for unreachable deadline, got %d options", len(req.Options))
+	}
+	// Time moves past the deadline → nil.
+	j3 := gpuJob(4)
+	if req := g.Generate(1000, j3); req != nil {
+		t.Errorf("expected nil request after deadline passed")
+	}
+}
+
+func TestBEValueDecaysButFloors(t *testing.T) {
+	c := cluster.RC80(false)
+	cfg := Default(4, 8)
+	cfg.BEDecay = 100
+	g := New(c, cfg)
+	j := &workload.Job{Class: workload.BestEffort, Type: workload.Unconstrained, K: 2, BaseRuntime: 20, Slowdown: 1}
+	early := g.Generate(0, j)
+	late := g.Generate(100000, j) // long after submission
+	if early == nil || late == nil {
+		t.Fatal("BE requests must never be culled")
+	}
+	if early.Options[0].Leaf.Value <= late.Options[0].Leaf.Value {
+		t.Errorf("BE value should decay: early %v late %v", early.Options[0].Leaf.Value, late.Options[0].Leaf.Value)
+	}
+	if late.Options[0].Leaf.Value <= 0 {
+		t.Errorf("BE value must floor above zero")
+	}
+}
+
+func TestValueClasses(t *testing.T) {
+	c := cluster.RC80(false)
+	g := New(c, Default(4, 4))
+	mk := func(class workload.Class, reserved bool) float64 {
+		j := &workload.Job{Class: class, Reserved: reserved, Type: workload.Unconstrained,
+			K: 2, BaseRuntime: 20, Slowdown: 1, Deadline: 10000}
+		req := g.Generate(0, j)
+		if req == nil {
+			t.Fatal("nil request")
+		}
+		return req.Options[0].Leaf.Value
+	}
+	acc := mk(workload.SLO, true)
+	nores := mk(workload.SLO, false)
+	be := mk(workload.BestEffort, false)
+	if !(acc > nores && nores > be) {
+		t.Errorf("value ordering violated: accepted=%v no-res=%v be=%v", acc, nores, be)
+	}
+	if acc < 900 || nores < 20 || be > 2 {
+		t.Errorf("values far from Fig 5: %v %v %v", acc, nores, be)
+	}
+}
+
+func TestNoHeterogeneity(t *testing.T) {
+	c := cluster.RC80(true)
+	cfg := Default(4, 20)
+	cfg.NoHeterogeneity = true
+	g := New(c, cfg)
+	req := g.Generate(0, gpuJob(4))
+	if req == nil {
+		t.Fatal("nil request")
+	}
+	for _, o := range req.Options {
+		if o.Key != "any" {
+			t.Errorf("NH produced placement option %q", o.Key)
+		}
+		if o.Leaf.Set.Count() != c.N() {
+			t.Errorf("NH option set = %d nodes, want whole cluster", o.Leaf.Set.Count())
+		}
+		if o.EstDur != 30 {
+			t.Errorf("NH est = %d, want conservative 30", o.EstDur)
+		}
+	}
+}
+
+func TestStartStride(t *testing.T) {
+	c := cluster.RC80(false)
+	cfg := Default(4, 400) // 100 slices
+	cfg.MaxStartChoices = 10
+	g := New(c, cfg)
+	j := &workload.Job{Class: workload.BestEffort, Type: workload.Unconstrained, K: 2, BaseRuntime: 20, Slowdown: 1}
+	req := g.Generate(0, j)
+	if req == nil {
+		t.Fatal("nil request")
+	}
+	if len(req.Options) > 10 {
+		t.Errorf("%d options exceed MaxStartChoices", len(req.Options))
+	}
+}
+
+func TestOversizeJobCulled(t *testing.T) {
+	c := cluster.RC80(false)
+	g := New(c, Default(4, 8))
+	j := &workload.Job{Class: workload.BestEffort, Type: workload.Unconstrained, K: 81, BaseRuntime: 20, Slowdown: 1}
+	if g.Generate(0, j) != nil {
+		t.Errorf("job wider than cluster not culled")
+	}
+}
+
+func TestEarlinessTieBreak(t *testing.T) {
+	c := cluster.RC80(false)
+	g := New(c, Default(4, 40))
+	j := &workload.Job{Class: workload.SLO, Reserved: true, Type: workload.Unconstrained,
+		K: 2, BaseRuntime: 20, Slowdown: 1, Deadline: 100000}
+	req := g.Generate(0, j)
+	prev := req.Options[0].Leaf.Value
+	for _, o := range req.Options[1:] {
+		if o.Leaf.Value >= prev {
+			t.Errorf("later start %d not valued below earlier (%v >= %v)", o.StartSlice, o.Leaf.Value, prev)
+		}
+		prev = o.Leaf.Value
+	}
+}
+
+func TestElasticWidthOptions(t *testing.T) {
+	c := cluster.RC80(false)
+	g := New(c, Default(4, 8))
+	j := &workload.Job{Class: workload.BestEffort, Type: workload.Elastic,
+		K: 8, MinK: 2, BaseRuntime: 40, Slowdown: 1}
+	req := g.Generate(0, j)
+	if req == nil {
+		t.Fatal("nil request")
+	}
+	widths := map[int]int64{} // width -> est
+	for _, o := range req.Options {
+		widths[o.Leaf.K] = o.EstDur
+	}
+	if len(widths) != 3 {
+		t.Fatalf("widths = %v, want 3 choices (2, 5, 8)", widths)
+	}
+	if widths[8] != 40 {
+		t.Errorf("full width est = %d, want 40", widths[8])
+	}
+	if widths[2] != 160 {
+		t.Errorf("min width est = %d, want 160 (40 × 8/2)", widths[2])
+	}
+	if mid, ok := widths[5]; !ok || mid != 64 {
+		t.Errorf("mid width est = %d, want 64 (ceil(40×8/5))", mid)
+	}
+}
+
+func TestElasticRigidWhenNoMinK(t *testing.T) {
+	c := cluster.RC80(false)
+	g := New(c, Default(4, 8))
+	j := &workload.Job{Class: workload.BestEffort, Type: workload.Elastic,
+		K: 8, BaseRuntime: 40, Slowdown: 1} // MinK unset → rigid
+	req := g.Generate(0, j)
+	for _, o := range req.Options {
+		if o.Leaf.K != 8 {
+			t.Errorf("rigid elastic offered width %d", o.Leaf.K)
+		}
+	}
+}
+
+func BenchmarkGenerateGSHETJob(b *testing.B) {
+	c := cluster.RC80(true)
+	g := New(c, Default(4, 96))
+	j := &workload.Job{ID: 3, Class: workload.SLO, Reserved: true, Type: workload.MPI,
+		K: 6, BaseRuntime: 180, Slowdown: 1.5, Deadline: 900}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.Generate(0, j) == nil {
+			b.Fatal("nil request")
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// traceFile is the on-disk representation of a job trace: a versioned JSON
+// document so traces can be shared, archived, and replayed bit-identically
+// across scheduler variants (the comparison methodology of §6).
+type traceFile struct {
+	Version int         `json:"version"`
+	Jobs    []*traceJob `json:"jobs"`
+}
+
+// traceJob mirrors Job with stable, human-editable field names. The
+// Reserved flag is deliberately excluded: admission is re-run on replay so
+// the reservation plan matches the cluster being simulated.
+type traceJob struct {
+	ID          int     `json:"id"`
+	Class       string  `json:"class"`
+	Type        string  `json:"type"`
+	Submit      int64   `json:"submit"`
+	K           int     `json:"k"`
+	BaseRuntime int64   `json:"base_runtime"`
+	Slowdown    float64 `json:"slowdown"`
+	Deadline    int64   `json:"deadline,omitempty"`
+	EstErr      float64 `json:"est_err,omitempty"`
+	MinK        int     `json:"min_k,omitempty"`
+	DataNodes   []int   `json:"data_nodes,omitempty"`
+	Priority    float64 `json:"priority,omitempty"`
+}
+
+const traceVersion = 1
+
+// SaveTrace writes jobs to path as JSON.
+func SaveTrace(path string, jobs []*Job) error {
+	tf := traceFile{Version: traceVersion}
+	for _, j := range jobs {
+		tf.Jobs = append(tf.Jobs, &traceJob{
+			ID:          j.ID,
+			Class:       j.Class.String(),
+			Type:        j.Type.String(),
+			Submit:      j.Submit,
+			K:           j.K,
+			BaseRuntime: j.BaseRuntime,
+			Slowdown:    j.Slowdown,
+			Deadline:    j.Deadline,
+			EstErr:      j.EstErr,
+			MinK:        j.MinK,
+			DataNodes:   j.DataNodes,
+			Priority:    j.Priority,
+		})
+	}
+	data, err := json.MarshalIndent(&tf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("workload: encoding trace: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadTrace reads a trace written by SaveTrace. Jobs are returned sorted by
+// submit time with dense IDs, as the simulation driver requires.
+func LoadTrace(path string) ([]*Job, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return nil, fmt.Errorf("workload: parsing trace %s: %w", path, err)
+	}
+	if tf.Version != traceVersion {
+		return nil, fmt.Errorf("workload: trace %s has version %d, want %d", path, tf.Version, traceVersion)
+	}
+	jobs := make([]*Job, 0, len(tf.Jobs))
+	for i, tj := range tf.Jobs {
+		j := &Job{
+			Submit:      tj.Submit,
+			K:           tj.K,
+			BaseRuntime: tj.BaseRuntime,
+			Slowdown:    tj.Slowdown,
+			Deadline:    tj.Deadline,
+			EstErr:      tj.EstErr,
+			MinK:        tj.MinK,
+			DataNodes:   tj.DataNodes,
+			Priority:    tj.Priority,
+		}
+		switch tj.Class {
+		case "SLO":
+			j.Class = SLO
+		case "BE":
+			j.Class = BestEffort
+		default:
+			return nil, fmt.Errorf("workload: trace job %d: unknown class %q", i, tj.Class)
+		}
+		switch tj.Type {
+		case "Unconstrained":
+			j.Type = Unconstrained
+		case "GPU":
+			j.Type = GPU
+		case "MPI":
+			j.Type = MPI
+		case "Elastic":
+			j.Type = Elastic
+		case "DataLocal":
+			j.Type = DataLocal
+		default:
+			return nil, fmt.Errorf("workload: trace job %d: unknown type %q", i, tj.Type)
+		}
+		if j.K <= 0 || j.BaseRuntime <= 0 {
+			return nil, fmt.Errorf("workload: trace job %d: invalid k=%d runtime=%d", i, j.K, j.BaseRuntime)
+		}
+		jobs = append(jobs, j)
+	}
+	sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].Submit < jobs[b].Submit })
+	for i := range jobs {
+		jobs[i].ID = i
+	}
+	return jobs, nil
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tetrisched/internal/cluster"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	c := cluster.RC80(true)
+	jobs, err := Generate(GSHET(40), c, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := SaveTrace(path, jobs); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(jobs) {
+		t.Fatalf("loaded %d jobs, want %d", len(loaded), len(jobs))
+	}
+	for i := range jobs {
+		a, b := jobs[i], loaded[i]
+		if a.Class != b.Class || a.Type != b.Type || a.Submit != b.Submit ||
+			a.K != b.K || a.BaseRuntime != b.BaseRuntime || a.Slowdown != b.Slowdown ||
+			a.Deadline != b.Deadline || a.EstErr != b.EstErr {
+			t.Fatalf("job %d differs:\n  saved:  %+v\n  loaded: %+v", i, a, b)
+		}
+		if b.ID != i {
+			t.Fatalf("job %d: ID %d not dense", i, b.ID)
+		}
+		if b.Reserved {
+			t.Fatalf("job %d: Reserved must not round-trip", i)
+		}
+	}
+}
+
+func TestLoadTraceErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"garbage.json": `{not json`,
+		"version.json": `{"version": 99, "jobs": []}`,
+		"class.json":   `{"version": 1, "jobs": [{"id":0,"class":"??","type":"GPU","submit":0,"k":1,"base_runtime":10,"slowdown":1}]}`,
+		"type.json":    `{"version": 1, "jobs": [{"id":0,"class":"SLO","type":"??","submit":0,"k":1,"base_runtime":10,"slowdown":1}]}`,
+		"invalid.json": `{"version": 1, "jobs": [{"id":0,"class":"SLO","type":"GPU","submit":0,"k":0,"base_runtime":10,"slowdown":1}]}`,
+	}
+	for name, content := range cases {
+		if _, err := LoadTrace(write(name, content)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := LoadTrace(filepath.Join(dir, "missing.json")); err == nil {
+		t.Errorf("missing file: expected error")
+	}
+}
+
+func TestLoadTraceSortsAndRenumbers(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "t.json")
+	content := `{"version":1,"jobs":[
+	  {"id":7,"class":"BE","type":"Unconstrained","submit":50,"k":2,"base_runtime":10,"slowdown":1},
+	  {"id":3,"class":"SLO","type":"MPI","submit":5,"k":4,"base_runtime":20,"slowdown":2,"deadline":100}
+	]}`
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := LoadTrace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Submit != 5 || jobs[0].ID != 0 || jobs[1].ID != 1 {
+		t.Errorf("sort/renumber failed: %+v %+v", jobs[0], jobs[1])
+	}
+	if jobs[0].Type != MPI || jobs[0].Class != SLO {
+		t.Errorf("fields lost: %+v", jobs[0])
+	}
+}
