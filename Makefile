@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench cover experiments experiments-quick examples clean
+.PHONY: all build vet test test-short race bench cover experiments experiments-quick examples clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass; required since the MILP solver gained shared mutable
+# state (parallel branch-and-bound workers).
+race:
+	$(GO) test -race ./...
 
 # Reduced-scale regenerations of every paper table/figure.
 bench:

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"time"
 
 	"tetrisched/internal/cluster"
@@ -40,6 +41,7 @@ func main() {
 		noHet     = flag.Bool("no-het", false, "TetriSched-NH (no soft constraints)")
 		preempt   = flag.Bool("preempt", false, "enable best-effort preemption")
 		limit     = flag.Duration("solver-limit", 300*time.Millisecond, "per-solve MILP time limit")
+		workers   = flag.Int("solver-workers", 0, "branch-and-bound workers per MILP solve (0 = one per CPU)")
 		gap       = flag.Float64("gap", 0.1, "relative MIP gap")
 	)
 	flag.Parse()
@@ -68,10 +70,19 @@ func main() {
 		NoHet:            *noHet,
 		EnablePreemption: *preempt,
 		SolverTimeLimit:  *limit,
+		SolverWorkers:    workerCount(*workers),
 		Gap:              *gap,
 	})
 	srv := httpapi.NewServer(sched, c.N())
 	log.Printf("tetrischedd: %s on %d nodes (%d racks, %d gpu), listening on %s",
 		sched.Name(), c.N(), *racks, *gpuRacks, *listen)
 	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+}
+
+// workerCount resolves the -solver-workers flag: 0 means one worker per CPU.
+func workerCount(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
 }

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -40,6 +41,7 @@ func main() {
 		slackMin    = flag.Float64("slack-min", 0, "deadline slack lower bound (×runtime; 0 = mix default)")
 		slackMax    = flag.Float64("slack-max", 0, "deadline slack upper bound (×runtime; 0 = mix default)")
 		limit       = flag.Duration("solver-limit", 300*time.Millisecond, "MILP time limit per solve")
+		workers     = flag.Int("solver-workers", 1, "branch-and-bound workers per MILP solve (0 = one per CPU)")
 		verbose     = flag.Bool("v", false, "print per-job outcomes")
 		gantt       = flag.Bool("gantt", false, "render the space-time schedule grid")
 		saveTrace   = flag.String("save-trace", "", "write the generated workload to a JSON trace file")
@@ -105,7 +107,8 @@ func main() {
 
 	plan := rayon.NewPlan(c.N(), *cycle)
 	var sched sim.Scheduler
-	base := core.Config{CyclePeriod: *cycle, PlanAhead: *planAhead, PlanQuantum: *planQuantum, SolverTimeLimit: *limit}
+	base := core.Config{CyclePeriod: *cycle, PlanAhead: *planAhead, PlanQuantum: *planQuantum,
+		SolverTimeLimit: *limit, SolverWorkers: solverWorkers(*workers)}
 	switch strings.ToLower(*schedName) {
 	case "tetrisched", "full":
 		sched = core.New(c, base)
@@ -169,4 +172,12 @@ func main() {
 func fatal(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "tetrisim: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// solverWorkers resolves the -solver-workers flag: 0 means one worker per CPU.
+func solverWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
 }

@@ -1,0 +1,65 @@
+package core
+
+import "sort"
+
+// claimInterval is a half-open busy interval [s, e) in plan slices.
+type claimInterval struct {
+	s, e int64
+}
+
+// claimSet tracks tentative space-time claims made during a greedy
+// (TetriSched-NG) cycle as per-node sorted, non-overlapping interval lists.
+// The historical representation was a flat claim slice scanned linearly per
+// time tick, making the pickNodes/pickDeferred availability checks
+// O(horizon × claims) per candidate node; interval lists answer the same
+// queries in O(log claims).
+type claimSet struct {
+	byNode map[int][]claimInterval
+}
+
+func newClaimSet() *claimSet {
+	return &claimSet{byNode: make(map[int][]claimInterval)}
+}
+
+// add claims [s, e) on a node, merging with adjacent or overlapping
+// intervals so the list stays sorted and disjoint.
+func (c *claimSet) add(node int, s, e int64) {
+	if e <= s {
+		return
+	}
+	iv := c.byNode[node]
+	// First interval with end beyond the new start — everything from here on
+	// may touch [s, e).
+	lo := sort.Search(len(iv), func(i int) bool { return iv[i].e >= s })
+	hi := lo
+	for hi < len(iv) && iv[hi].s <= e {
+		if iv[hi].s < s {
+			s = iv[hi].s
+		}
+		if iv[hi].e > e {
+			e = iv[hi].e
+		}
+		hi++
+	}
+	merged := append(iv[:lo:lo], claimInterval{s, e})
+	merged = append(merged, iv[hi:]...)
+	c.byNode[node] = merged
+}
+
+// busyAt reports whether the node is claimed at slice t. Matches the
+// compiler.Options.BusyAt signature.
+func (c *claimSet) busyAt(node int, t int64) bool {
+	iv := c.byNode[node]
+	i := sort.Search(len(iv), func(i int) bool { return iv[i].e > t })
+	return i < len(iv) && iv[i].s <= t
+}
+
+// overlaps reports whether the node has any claim intersecting [s, e).
+func (c *claimSet) overlaps(node int, s, e int64) bool {
+	if e <= s {
+		return false
+	}
+	iv := c.byNode[node]
+	i := sort.Search(len(iv), func(i int) bool { return iv[i].e > s })
+	return i < len(iv) && iv[i].s < e
+}

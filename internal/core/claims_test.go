@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tetrisched/internal/cluster"
+	"tetrisched/internal/sim"
+	"tetrisched/internal/workload"
+)
+
+// naiveClaims is the historical flat representation: one entry per claim,
+// membership answered by a linear scan per time tick. It is the oracle the
+// interval-list claimSet must agree with exactly.
+type naiveClaims struct {
+	claims []struct {
+		node int
+		s, e int64
+	}
+}
+
+func (n *naiveClaims) add(node int, s, e int64) {
+	n.claims = append(n.claims, struct {
+		node int
+		s, e int64
+	}{node, s, e})
+}
+
+func (n *naiveClaims) busyAt(node int, t int64) bool {
+	for _, c := range n.claims {
+		if c.node == node && t >= c.s && t < c.e {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *naiveClaims) overlaps(node int, s, e int64) bool {
+	for t := s; t < e; t++ {
+		if n.busyAt(node, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestClaimSetMatchesNaive cross-checks the interval-list claimSet against
+// the per-tick linear scan it replaced, over randomized claim patterns
+// including overlapping, adjacent, and nested intervals.
+func TestClaimSetMatchesNaive(t *testing.T) {
+	const horizon = 40
+	for trial := 0; trial < 50; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)))
+		fast := newClaimSet()
+		slow := &naiveClaims{}
+		for i := 0; i < 30; i++ {
+			node := r.Intn(4)
+			s := int64(r.Intn(horizon))
+			e := s + int64(r.Intn(10))
+			fast.add(node, s, e)
+			slow.add(node, s, e)
+			for n := 0; n < 4; n++ {
+				for tt := int64(0); tt < horizon+4; tt++ {
+					if got, want := fast.busyAt(n, tt), slow.busyAt(n, tt); got != want {
+						t.Fatalf("trial %d after %d adds: busyAt(%d,%d) = %v, naive says %v", trial, i+1, n, tt, got, want)
+					}
+				}
+				for s2 := int64(0); s2 < horizon; s2 += 3 {
+					for _, len2 := range []int64{0, 1, 2, 7} {
+						if got, want := fast.overlaps(n, s2, s2+len2), slow.overlaps(n, s2, s2+len2); got != want {
+							t.Fatalf("trial %d: overlaps(%d,[%d,%d)) = %v, naive says %v", trial, n, s2, s2+len2, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClaimSetMerging pins the interval-merge behavior: overlapping and
+// touching claims coalesce into one sorted disjoint list.
+func TestClaimSetMerging(t *testing.T) {
+	c := newClaimSet()
+	c.add(0, 5, 8)
+	c.add(0, 10, 12)
+	c.add(0, 8, 10) // bridges the two
+	if got := c.byNode[0]; len(got) != 1 || got[0] != (claimInterval{5, 12}) {
+		t.Fatalf("intervals = %v, want one merged [5,12)", got)
+	}
+	if c.busyAt(0, 4) || !c.busyAt(0, 5) || !c.busyAt(0, 11) || c.busyAt(0, 12) {
+		t.Fatal("half-open boundary semantics violated")
+	}
+	if c.overlaps(0, 0, 5) {
+		t.Fatal("[0,5) must not overlap [5,12)")
+	}
+	if !c.overlaps(0, 11, 20) {
+		t.Fatal("[11,20) must overlap [5,12)")
+	}
+	if c.overlaps(1, 0, 100) {
+		t.Fatal("unclaimed node reported busy")
+	}
+	c.add(0, 3, 3) // empty interval is a no-op
+	if len(c.byNode[0]) != 1 {
+		t.Fatal("empty add changed the set")
+	}
+}
+
+// longJobNG builds a TetriSched-NG scenario dominated by long-duration jobs,
+// so tentative greedy claims span many plan slices and the overlap test (not
+// just single-tick membership) decides placements.
+func longJobNG() (*cluster.Cluster, []*workload.Job) {
+	c := cluster.NewBuilder().AddRack("r0", 4, nil).AddRack("r1", 4, nil).Build()
+	jobs := []*workload.Job{
+		{ID: 0, Class: workload.BestEffort, Type: workload.Unconstrained, Submit: 0, K: 4, BaseRuntime: 200, Slowdown: 1, Priority: 2},
+		{ID: 1, Class: workload.BestEffort, Type: workload.Unconstrained, Submit: 0, K: 4, BaseRuntime: 200, Slowdown: 1, Priority: 2},
+		{ID: 2, Class: workload.BestEffort, Type: workload.Unconstrained, Submit: 4, K: 4, BaseRuntime: 160, Slowdown: 1, Priority: 1},
+		{ID: 3, Class: workload.BestEffort, Type: workload.Unconstrained, Submit: 8, K: 2, BaseRuntime: 120, Slowdown: 1, Priority: 1},
+		{ID: 4, Class: workload.BestEffort, Type: workload.Unconstrained, Submit: 8, K: 2, BaseRuntime: 120, Slowdown: 1, Priority: 1},
+		{ID: 5, Class: workload.BestEffort, Type: workload.Unconstrained, Submit: 12, K: 8, BaseRuntime: 100, Slowdown: 1, Priority: 3},
+	}
+	return c, jobs
+}
+
+// TestGreedyLongDurationDecisions runs TetriSched-NG over long-duration jobs
+// and checks the decisions are sound and reproducible: every job completes,
+// no node is double-assigned while a previous occupant is still believed
+// running, and two identical runs make identical decisions.
+func TestGreedyLongDurationDecisions(t *testing.T) {
+	type placement struct {
+		job   int
+		start int64
+		nodes []int
+	}
+	run := func() []placement {
+		c, jobs := longJobNG()
+		sched := New(c, Config{PlanAhead: 48, Greedy: true})
+		res, err := sim.Run(sim.Config{Cluster: c, Jobs: jobs, Scheduler: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []placement
+		for _, st := range res.Stats {
+			if !st.Completed {
+				t.Fatalf("job %d did not complete: %+v", st.Job.ID, st)
+			}
+			out = append(out, placement{job: st.Job.ID, start: st.Start, nodes: st.Nodes})
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].job != b[i].job || a[i].start != b[i].start {
+			t.Fatalf("decision %d differs across identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+		for k := range a[i].nodes {
+			if a[i].nodes[k] != b[i].nodes[k] {
+				t.Fatalf("job %d node set differs across identical runs: %v vs %v", a[i].job, a[i].nodes, b[i].nodes)
+			}
+		}
+	}
+}

@@ -51,6 +51,12 @@ type Config struct {
 	Gap float64
 	// SolverTimeLimit bounds each MILP solve's wall-clock time.
 	SolverTimeLimit time.Duration
+	// SolverWorkers is the number of branch-and-bound workers per MILP solve
+	// (milp.Options.Workers); 0 defaults to 1 (serial — the deterministic
+	// historical behavior). The scheduler always requests deterministic
+	// tie-breaking, so raising this keeps runs reproducible while cutting
+	// wall-clock on multi-core hosts.
+	SolverWorkers int
 	// MaxBatch caps how many pending jobs one global solve aggregates; the
 	// highest-priority jobs are batched first (§5: "TetriSched has the
 	// flexibility of aggregating a subset of the pending jobs").
@@ -84,6 +90,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 48
 	}
+	if c.SolverWorkers <= 0 {
+		c.SolverWorkers = 1
+	}
 	return c
 }
 
@@ -98,6 +107,35 @@ func (c Config) Name() string {
 		return "TetriSched-NP"
 	default:
 		return "TetriSched"
+	}
+}
+
+// SolveStats accumulates per-solve MILP telemetry for the scalability
+// analysis (§6.6): how many solves ran, how much tree they explored, and
+// with how many workers.
+type SolveStats struct {
+	Solves     int           // MILP invocations across all cycles
+	Nodes      int           // branch-and-bound nodes explored, total
+	MaxNodes   int           // largest single-solve node count
+	Workers    int           // workers used by the most recent solve
+	WarmStarts int           // solves seeded with the previous cycle's shifted plan
+	Runtime    time.Duration // cumulative solver wall-clock
+}
+
+// record folds one solve's telemetry into the running totals.
+func (st *SolveStats) record(sol *milp.Solution, warm bool, d time.Duration) {
+	st.Solves++
+	st.Runtime += d
+	if warm {
+		st.WarmStarts++
+	}
+	if sol == nil {
+		return
+	}
+	st.Workers = sol.Workers
+	st.Nodes += sol.Nodes
+	if sol.Nodes > st.MaxNodes {
+		st.MaxNodes = sol.Nodes
 	}
 }
 
@@ -125,9 +163,8 @@ type Scheduler struct {
 	running map[int]*runInfo
 	lastJob map[int]planChoice
 
-	// SolveStats accumulates solver telemetry for the scalability analysis.
-	TotalSolves int
-	TotalNodes  int
+	// Stats accumulates solver telemetry for the scalability analysis.
+	Stats SolveStats
 }
 
 var _ sim.Scheduler = (*Scheduler)(nil)
@@ -307,11 +344,14 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 	sol, err := milp.Solve(comp.Model, milp.Options{
 		Gap:             s.cfg.Gap,
 		TimeLimit:       s.cfg.SolverTimeLimit,
+		Workers:         s.cfg.SolverWorkers,
+		Deterministic:   true,
 		InitialSolution: seed,
 		Heuristic:       comp.GreedyRound,
 	})
-	res.SolverLatency += time.Since(t0)
-	s.TotalSolves++
+	elapsed := time.Since(t0)
+	res.SolverLatency += elapsed
+	s.Stats.record(sol, seed != nil, elapsed)
 	if err != nil || sol.Values == nil {
 		// Solver produced nothing inside its budget (possible under extreme
 		// backlog); fall back to greedy value-ordered packing so the cluster
@@ -319,7 +359,6 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 		s.fallbackPack(now, free, reqs, res)
 		return
 	}
-	s.TotalNodes += sol.Nodes
 
 	working := free.Clone()
 	granted := make(map[int]bool)
@@ -438,42 +477,32 @@ func (s *Scheduler) preemptRescue(now int64, working *bitset.Set, reqs []*strlge
 // with earlier jobs' tentative space-time claims excluded from later solves.
 func (s *Scheduler) greedyCycle(now int64, free *bitset.Set, reqs []*strlgen.Request, res *sim.CycleResult) {
 	rel := s.releaseSlices(now)
-	type claim struct {
-		node int
-		s, e int64
-	}
-	var claims []claim
-	claimed := func(n int, t int64) bool {
-		for _, c := range claims {
-			if c.node == n && t >= c.s && t < c.e {
-				return true
-			}
-		}
-		return false
-	}
+	claims := newClaimSet()
 	working := free.Clone()
 	for _, req := range reqs {
 		comp, err := compiler.Compile([]strl.Expr{req.Expr}, compiler.Options{
 			Universe:  s.c.N(),
 			Horizon:   s.horizon(),
 			ReleaseAt: rel,
-			BusyAt:    claimed,
+			BusyAt:    claims.busyAt,
 		})
 		if err != nil {
 			continue
 		}
 		t0 := time.Now()
 		sol, err := milp.Solve(comp.Model, milp.Options{
-			Gap:       s.cfg.Gap,
-			TimeLimit: s.cfg.SolverTimeLimit,
-			Heuristic: comp.GreedyRound,
+			Gap:           s.cfg.Gap,
+			TimeLimit:     s.cfg.SolverTimeLimit,
+			Workers:       s.cfg.SolverWorkers,
+			Deterministic: true,
+			Heuristic:     comp.GreedyRound,
 		})
-		res.SolverLatency += time.Since(t0)
-		s.TotalSolves++
+		elapsed := time.Since(t0)
+		res.SolverLatency += elapsed
+		s.Stats.record(sol, false, elapsed)
 		if err != nil || sol.Values == nil {
 			continue
 		}
-		s.TotalNodes += sol.Nodes
 		for _, g := range comp.Decode(sol) {
 			opt := req.OptionFor(g.Leaf)
 			if opt == nil {
@@ -481,20 +510,20 @@ func (s *Scheduler) greedyCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 			}
 			end := g.Start + g.Dur
 			if g.Start == 0 {
-				nodes := s.pickNodes(comp, g, working, claimed, end)
+				nodes := s.pickNodes(comp, g, working, claims, end)
 				if nodes == nil {
 					continue
 				}
 				s.launch(now, req.Job, nodes, opt, res)
 				for _, n := range nodes {
-					claims = append(claims, claim{node: n, s: 0, e: end})
+					claims.add(n, 0, end)
 				}
 			} else {
 				// Tentatively claim concrete nodes for the deferred start so
 				// later (lower-priority) jobs plan around them.
-				nodes := s.pickDeferred(comp, g, rel, claimed)
+				nodes := s.pickDeferred(comp, g, rel, claims)
 				for _, n := range nodes {
-					claims = append(claims, claim{node: n, s: g.Start, e: end})
+					claims.add(n, g.Start, end)
 				}
 			}
 		}
@@ -547,8 +576,8 @@ func (s *Scheduler) launch(now int64, j *workload.Job, nodes []int, opt *strlgen
 
 // pickNodes selects concrete free nodes for a start-now grant: from each
 // partition group, nodes that are free now and (for greedy) unclaimed for the
-// whole occupancy interval.
-func (s *Scheduler) pickNodes(comp *compiler.Compiled, g compiler.LeafGrant, working *bitset.Set, claimed func(int, int64) bool, end int64) []int {
+// whole occupancy interval [0, end).
+func (s *Scheduler) pickNodes(comp *compiler.Compiled, g compiler.LeafGrant, working *bitset.Set, claims *claimSet, end int64) []int {
 	nodes := make([]int, 0, g.Total)
 	for _, group := range sortedGroups(g.Counts) {
 		count := g.Counts[group]
@@ -557,12 +586,8 @@ func (s *Scheduler) pickNodes(comp *compiler.Compiled, g compiler.LeafGrant, wor
 			if !working.Contains(n) {
 				return true
 			}
-			if claimed != nil {
-				for t := int64(0); t < end; t++ {
-					if claimed(n, t) {
-						return true
-					}
-				}
+			if claims != nil && claims.overlaps(n, 0, end) {
+				return true
 			}
 			candidates = append(candidates, n)
 			return true
@@ -585,7 +610,7 @@ func (s *Scheduler) pickNodes(comp *compiler.Compiled, g compiler.LeafGrant, wor
 
 // pickDeferred selects concrete nodes free throughout a future interval for
 // a tentative greedy claim; best effort (may return fewer than requested).
-func (s *Scheduler) pickDeferred(comp *compiler.Compiled, g compiler.LeafGrant, rel []int64, claimed func(int, int64) bool) []int {
+func (s *Scheduler) pickDeferred(comp *compiler.Compiled, g compiler.LeafGrant, rel []int64, claims *claimSet) []int {
 	end := g.Start + g.Dur
 	var nodes []int
 	for _, group := range sortedGroups(g.Counts) {
@@ -598,10 +623,8 @@ func (s *Scheduler) pickDeferred(comp *compiler.Compiled, g compiler.LeafGrant, 
 			if rel[n] > g.Start {
 				return true
 			}
-			for t := g.Start; t < end; t++ {
-				if claimed(n, t) {
-					return true
-				}
+			if claims.overlaps(n, g.Start, end) {
+				return true
 			}
 			nodes = append(nodes, n)
 			count--

@@ -587,8 +587,17 @@ func TestSolverTelemetryAccumulates(t *testing.T) {
 	if _, err := sim.Run(sim.Config{Cluster: c, Jobs: jobs, Scheduler: sched}); err != nil {
 		t.Fatal(err)
 	}
-	if sched.TotalSolves == 0 {
+	if sched.Stats.Solves == 0 {
 		t.Errorf("no solves recorded")
+	}
+	if sched.Stats.Nodes == 0 || sched.Stats.MaxNodes == 0 {
+		t.Errorf("no branch-and-bound nodes recorded: %+v", sched.Stats)
+	}
+	if sched.Stats.Workers != 1 {
+		t.Errorf("Workers = %d, want the serial default 1", sched.Stats.Workers)
+	}
+	if sched.Stats.Runtime <= 0 {
+		t.Errorf("no solver runtime recorded")
 	}
 	if sched.Pending() != 0 || sched.Running() != 0 {
 		t.Errorf("scheduler state not drained: pending=%d running=%d", sched.Pending(), sched.Running())
@@ -638,5 +647,52 @@ func TestCoarsePlanQuantum(t *testing.T) {
 	// Job 1 still waits for the GPUs rather than taking the 120s fallback.
 	if got := res.Stats[1].Finish - res.Stats[1].Start; got != 40 {
 		t.Errorf("job 1 ran %ds, want 40 (GPU placement)", got)
+	}
+}
+
+// warmStartScenario is a deferral-heavy workload: job 1 waits several cycles
+// for the GPU nodes, so consecutive global solves re-propose its shifted
+// plan as a warm-start seed. PlanAhead stays within MaxStartChoices slices so
+// options are generated at every slice (stride 1) — a strided option grid has
+// no slice-minus-one option for the seed to land on.
+func warmStartScenario(t *testing.T, cfg Config) *Scheduler {
+	t.Helper()
+	c := cluster.RC80(true)
+	jobs := []*workload.Job{
+		{ID: 0, Class: workload.SLO, Type: workload.GPU, Submit: 0, K: 20, BaseRuntime: 20, Slowdown: 3, Deadline: 100},
+		{ID: 1, Class: workload.SLO, Type: workload.GPU, Submit: 4, K: 20, BaseRuntime: 40, Slowdown: 3, Deadline: 120},
+	}
+	sched := New(c, cfg)
+	if _, err := sim.Run(sim.Config{Cluster: c, Jobs: jobs, Scheduler: sched}); err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+// TestWarmStartSeedsCounted: with the default quantum the deferral scenario
+// must produce warm-started solves, visible in SolveStats.
+func TestWarmStartSeedsCounted(t *testing.T) {
+	sched := warmStartScenario(t, Config{CyclePeriod: 4, PlanAhead: 48, Gap: 0})
+	if sched.Stats.WarmStarts == 0 {
+		t.Fatalf("no warm-started solves recorded across a deferral-heavy run: %+v", sched.Stats)
+	}
+}
+
+// TestWarmStartDisabledByCoarseQuantum: seeding shifts last cycle's plan by
+// exactly one slice, which is only meaningful when PlanQuantum equals
+// CyclePeriod; a coarser quantum must disable it entirely.
+func TestWarmStartDisabledByCoarseQuantum(t *testing.T) {
+	sched := warmStartScenario(t, Config{CyclePeriod: 4, PlanQuantum: 12, PlanAhead: 96, Gap: 0})
+	if sched.Stats.WarmStarts != 0 {
+		t.Fatalf("PlanQuantum (12) != CyclePeriod (4) must disable seeding, got %d warm starts", sched.Stats.WarmStarts)
+	}
+}
+
+// TestWarmStartDisabledBySwitch: the explicit DisableWarmStart ablation also
+// zeroes the counter.
+func TestWarmStartDisabledBySwitch(t *testing.T) {
+	sched := warmStartScenario(t, Config{CyclePeriod: 4, PlanAhead: 48, Gap: 0, DisableWarmStart: true})
+	if sched.Stats.WarmStarts != 0 {
+		t.Fatalf("DisableWarmStart must disable seeding, got %d warm starts", sched.Stats.WarmStarts)
 	}
 }

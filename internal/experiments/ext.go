@@ -32,7 +32,8 @@ func ExtScale(w io.Writer, sc Scale) error {
 	for _, p := range points {
 		mix := workload.GSHET(sc.Jobs * p.scale)
 		b := TetriSched(core.Config{
-			CyclePeriod: sc.CyclePeriod, PlanAhead: sc.PlanAhead, SolverTimeLimit: sc.SolverTimeLimit,
+			CyclePeriod: sc.CyclePeriod, PlanAhead: sc.PlanAhead,
+			SolverTimeLimit: sc.SolverTimeLimit, SolverWorkers: sc.SolverWorkers,
 		})
 		sum, err := RunOne(p.c, mix, 1000, b, sc.CyclePeriod)
 		if err != nil {
@@ -61,7 +62,8 @@ func ExtPreempt(w io.Writer, sc Scale) error {
 	fmt.Fprintf(w, "%-28s%12s%12s%14s\n", "scheduler", "SLO-all(%)", "SLO-res(%)", "BE-latency(s)")
 	for _, on := range []bool{false, true} {
 		cfg := core.Config{CyclePeriod: sc.CyclePeriod, PlanAhead: sc.PlanAhead,
-			SolverTimeLimit: sc.SolverTimeLimit, EnablePreemption: on}
+			SolverTimeLimit: sc.SolverTimeLimit, SolverWorkers: sc.SolverWorkers,
+			EnablePreemption: on}
 		b := TetriSched(cfg)
 		if on {
 			b.Name = "TetriSched+preempt"

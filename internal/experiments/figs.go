@@ -49,12 +49,14 @@ func Table2(w io.Writer) error {
 // tetri builds the full-featured TetriSched at scale sc.
 func tetri(sc Scale) Builder {
 	return TetriSched(core.Config{
-		CyclePeriod: sc.CyclePeriod, PlanAhead: sc.PlanAhead, SolverTimeLimit: sc.SolverTimeLimit,
+		CyclePeriod: sc.CyclePeriod, PlanAhead: sc.PlanAhead,
+		SolverTimeLimit: sc.SolverTimeLimit, SolverWorkers: sc.SolverWorkers,
 	})
 }
 
 func variant(sc Scale, mod func(*core.Config)) Builder {
-	cfg := core.Config{CyclePeriod: sc.CyclePeriod, PlanAhead: sc.PlanAhead, SolverTimeLimit: sc.SolverTimeLimit}
+	cfg := core.Config{CyclePeriod: sc.CyclePeriod, PlanAhead: sc.PlanAhead,
+		SolverTimeLimit: sc.SolverTimeLimit, SolverWorkers: sc.SolverWorkers}
 	mod(&cfg)
 	return TetriSched(cfg)
 }

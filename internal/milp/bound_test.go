@@ -1,0 +1,118 @@
+package milp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randKnapsack builds a seeded random binary knapsack. These models
+// reproduce the historical gap-termination bound misreport: search often
+// breaks by popping a gap-met node whose subtree is unexplored, and the old
+// code then recomputed the bound from the heap top (or collapsed it to the
+// incumbent), overstating how close the incumbent was to optimal.
+func randKnapsack(seed int64) *Model {
+	r := rand.New(rand.NewSource(seed))
+	m := NewModel(Maximize)
+	n := 10 + r.Intn(10)
+	terms := make([]Term, n)
+	for i := 0; i < n; i++ {
+		v := m.AddBinary(fmt.Sprintf("x%d", i), 1+r.Float64()*10)
+		terms[i] = Term{v, 1 + r.Float64()*5}
+	}
+	m.AddConstraint("cap", terms, LE, float64(n))
+	return m
+}
+
+// TestGapBoundNotOverstated asserts the core invariant the old code broke:
+// the reported Bound must never be tighter than the true optimum. Before the
+// fix, gap-limited solves of these models reported Bound equal to the
+// incumbent (claiming a 0.0000 achieved gap) while the true optimum sat
+// several percent above it — e.g. seed 2 at gap 0.15 reported Bound
+// 43.6037 against a true optimum of 46.6652.
+func TestGapBoundNotOverstated(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		exact, err := Solve(randKnapsack(seed), Options{})
+		if err != nil || exact.Status != StatusOptimal {
+			t.Fatalf("seed %d: exact solve failed: %v %v", seed, exact, err)
+		}
+		for _, gap := range []float64{0.15, 0.25, 0.35} {
+			sol, err := Solve(randKnapsack(seed), Options{Gap: gap})
+			if err != nil {
+				t.Fatalf("seed %d gap %g: %v", seed, gap, err)
+			}
+			if sol.Bound < exact.Objective-1e-6 {
+				t.Errorf("seed %d gap %g: Bound %.6f tighter than true optimum %.6f (incumbent %.6f, claimed gap %.4f)",
+					seed, gap, sol.Bound, exact.Objective, sol.Objective, sol.Gap())
+			}
+			if sol.Gap() > gap+1e-9 {
+				t.Errorf("seed %d gap %g: achieved gap %.4f exceeds requested", seed, gap, sol.Gap())
+			}
+		}
+	}
+}
+
+// TestGapBreakKeepsPoppedBound pins the exact termination state the bug
+// lived in: search breaks by popping a gap-met node (bound 10) while the
+// heap still holds a weaker open node (bound 8) and the incumbent sits at
+// 7.5. The popped node's subtree is unexplored, so 10 is the only proven
+// global bound; the old code reported max(heap-top, incumbent) = 8.
+func TestGapBreakKeepsPoppedBound(t *testing.T) {
+	m := NewModel(Maximize)
+	m.AddBinary("x", 1)
+	s := &search{
+		model:     m,
+		opts:      Options{Gap: 0.5},
+		maximize:  true,
+		workers:   1,
+		incumbent: []float64{1},
+		incObj:    7.5,
+		h:         &nodeHeap{max: true},
+		nodes:     3,
+		bestBound: 10, // the popped, gap-met, unexplored node
+		gapBreak:  true,
+	}
+	heap.Init(s.h)
+	s.pushNode(&bbNode{bound: 8})
+	sol := s.finish()
+	if sol.Bound != 10 {
+		t.Fatalf("Bound = %v, want the popped node's bound 10 (heap top 8 is not a proven global bound)", sol.Bound)
+	}
+	if got := sol.Gap(); math.Abs(got-2.5/7.5) > 1e-12 {
+		t.Fatalf("Gap() = %v, want 0.3333", got)
+	}
+	if sol.Status != StatusOptimal { // 10 is still within the configured 0.5 gap
+		t.Fatalf("Status = %v, want optimal-within-gap", sol.Status)
+	}
+}
+
+// TestGapBreakEmptyHeapKeepsPoppedBound covers the sibling flavor: the
+// gap-met pop empties the heap. The old code collapsed Bound to the
+// incumbent (claiming exact optimality) even though the popped subtree was
+// never explored.
+func TestGapBreakEmptyHeapKeepsPoppedBound(t *testing.T) {
+	m := NewModel(Maximize)
+	m.AddBinary("x", 1)
+	s := &search{
+		model:     m,
+		opts:      Options{Gap: 0.5},
+		maximize:  true,
+		workers:   1,
+		incumbent: []float64{1},
+		incObj:    7.5,
+		h:         &nodeHeap{max: true},
+		nodes:     3,
+		bestBound: 10,
+		gapBreak:  true,
+	}
+	heap.Init(s.h)
+	sol := s.finish()
+	if sol.Bound != 10 {
+		t.Fatalf("Bound = %v, want the popped node's bound 10, not the incumbent 7.5", sol.Bound)
+	}
+	if sol.Gap() == 0 {
+		t.Fatal("Gap() = 0 misreports an approximate solve as exact")
+	}
+}

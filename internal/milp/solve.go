@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 )
 
@@ -43,7 +44,7 @@ func (s Status) String() string {
 }
 
 // Options configures a Solve call. The zero value requests an exact solve
-// with no limits.
+// with no limits, using one branch-and-bound worker per CPU.
 type Options struct {
 	// Gap is the relative MIP gap: search stops when
 	// |bestBound − incumbent| ≤ Gap·max(1,|incumbent|). The paper configures
@@ -54,14 +55,38 @@ type Options struct {
 	TimeLimit time.Duration
 	// MaxNodes bounds the number of branch-and-bound nodes (0 = unlimited).
 	MaxNodes int
+	// Workers is the number of branch-and-bound workers exploring the tree.
+	// 0 uses runtime.GOMAXPROCS(0); 1 runs the serial search (the historical
+	// behavior). Each worker solves LP relaxations on its own scratch state;
+	// incumbents and the open-node queue are shared.
+	Workers int
+	// Deterministic makes multi-worker searches independent of worker
+	// interleaving: nodes are expanded in synchronous best-bound rounds with
+	// a fixed tie-break order (equal-bound nodes by creation sequence,
+	// equal-objective incumbents by application order), so repeated solves of
+	// the same model return byte-identical Values. Serial solves are always
+	// deterministic. Wall-clock limits (TimeLimit) remain a source of timing
+	// dependence in every mode.
+	Deterministic bool
 	// InitialSolution, if non-nil and feasible, seeds the incumbent — used by
 	// the scheduler to warm-start each cycle with the previous cycle's plan.
+	// An infeasible seed is silently ignored.
 	InitialSolution []float64
 	// Heuristic, if non-nil, proposes an integral candidate from an LP
 	// relaxation point. Problem-aware callers (the STRL compiler) supply a
 	// structure-exploiting rounding that is far cheaper than generic LP
 	// dives; candidates are validated before being accepted as incumbents.
+	// With Workers > 1 the callback is invoked concurrently and must be safe
+	// for concurrent use (pure functions of their input are).
 	Heuristic func(relaxation []float64) []float64
+}
+
+// effectiveWorkers resolves Workers to a concrete worker count.
+func (o Options) effectiveWorkers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
 }
 
 // Solution is the result of a Solve call.
@@ -71,6 +96,7 @@ type Solution struct {
 	Bound     float64   // best proven bound on the optimum
 	Values    []float64 // one entry per model variable
 	Nodes     int       // branch-and-bound nodes explored
+	Workers   int       // branch-and-bound workers used by the search
 	Runtime   time.Duration
 }
 
@@ -85,6 +111,7 @@ const intTol = 1e-6
 type bbNode struct {
 	bound     float64 // parent LP objective (optimistic)
 	depth     int
+	seq       uint64 // creation order, for deterministic tie-breaking
 	overrides []boundOverride
 }
 
@@ -97,14 +124,22 @@ type boundOverride struct {
 type nodeHeap struct {
 	nodes []*bbNode
 	max   bool // true: pop highest bound first (maximize)
+	det   bool // true: break bound ties by creation sequence
 }
 
 func (h *nodeHeap) Len() int { return len(h.nodes) }
 func (h *nodeHeap) Less(i, j int) bool {
-	if h.max {
-		return h.nodes[i].bound > h.nodes[j].bound
+	a, b := h.nodes[i], h.nodes[j]
+	if a.bound != b.bound {
+		if h.max {
+			return a.bound > b.bound
+		}
+		return a.bound < b.bound
 	}
-	return h.nodes[i].bound < h.nodes[j].bound
+	if h.det {
+		return a.seq < b.seq
+	}
+	return false
 }
 func (h *nodeHeap) Swap(i, j int)      { h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i] }
 func (h *nodeHeap) Push(x interface{}) { h.nodes = append(h.nodes, x.(*bbNode)) }
@@ -116,16 +151,85 @@ func (h *nodeHeap) Pop() interface{} {
 	return x
 }
 
+// search carries the branch-and-bound state shared by the serial and
+// parallel drivers. In parallel modes every field below is guarded by the
+// driver's mutex (async) or only touched between synchronous rounds (batch).
+type search struct {
+	model    *Model
+	p        *lp
+	opts     Options
+	start    time.Time
+	deadline time.Time
+	maximize bool
+	workers  int
+
+	incumbent []float64
+	incObj    float64
+
+	h   *nodeHeap
+	seq uint64
+
+	nodes       int
+	bestBound   float64 // proven global bound (weakest open node, incl. in-flight)
+	deadlineHit bool
+	gapBreak    bool // terminated with the global bound gap-met
+	boundFinal  bool // async driver already folded in-flight bounds into bestBound
+}
+
+// better reports whether a is strictly better than b in the optimize sense.
+func (s *search) better(a, b float64) bool {
+	if s.maximize {
+		return a > b+1e-12
+	}
+	return a < b-1e-12
+}
+
+// gapMet reports whether the incumbent is within the configured gap of bound.
+func (s *search) gapMet(bound float64) bool {
+	if s.incumbent == nil {
+		return false
+	}
+	return math.Abs(bound-s.incObj) <= s.opts.Gap*math.Max(1, math.Abs(s.incObj))+1e-9
+}
+
+// consider adopts cand as the incumbent if it is feasible and better.
+func (s *search) consider(cand []float64) {
+	if cand == nil || !s.model.IsFeasible(cand, 1e-6) {
+		return
+	}
+	if obj := s.model.ObjectiveValue(cand); s.incumbent == nil || s.better(obj, s.incObj) {
+		s.incumbent, s.incObj = cand, obj
+	}
+}
+
+// pushNode stamps the node's creation sequence and adds it to the open heap.
+func (s *search) pushNode(n *bbNode) {
+	s.seq++
+	n.seq = s.seq
+	heap.Push(s.h, n)
+}
+
+// pickBound returns the weaker (more conservative) of two valid bounds: the
+// larger under maximize, the smaller under minimize.
+func (s *search) pickBound(a, b float64) float64 {
+	if s.maximize {
+		return math.Max(a, b)
+	}
+	return math.Min(a, b)
+}
+
 // Solve optimizes the model. Pure LPs (no integer variables) are solved with
 // a single simplex call; otherwise best-bound branch-and-bound runs until the
-// gap, time, or node limit is met.
+// gap, time, or node limit is met. With Options.Workers > 1 the tree search
+// runs on a worker pool (see parallel.go).
 func Solve(model *Model, opts Options) (*Solution, error) {
 	start := time.Now()
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
+	workers := opts.effectiveWorkers()
 	if len(model.Vars) == 0 {
-		return &Solution{Status: StatusOptimal, Values: nil, Runtime: time.Since(start)}, nil
+		return &Solution{Status: StatusOptimal, Values: nil, Workers: workers, Runtime: time.Since(start)}, nil
 	}
 	p := newLP(model)
 	maximize := model.Sense == Maximize
@@ -134,22 +238,23 @@ func Solve(model *Model, opts Options) (*Solution, error) {
 		deadline = start.Add(opts.TimeLimit)
 	}
 
-	better := func(a, b float64) bool { // is a strictly better than b?
-		if maximize {
-			return a > b+1e-12
-		}
-		return a < b-1e-12
+	s := &search{
+		model:    model,
+		p:        p,
+		opts:     opts,
+		start:    start,
+		deadline: deadline,
+		maximize: maximize,
+		workers:  workers,
 	}
 	worst := math.Inf(-1)
 	if !maximize {
 		worst = math.Inf(1)
 	}
-
-	var incumbent []float64
-	incObj := worst
+	s.incObj = worst
 	if opts.InitialSolution != nil && model.IsFeasible(opts.InitialSolution, 1e-6) {
-		incumbent = append([]float64(nil), opts.InitialSolution...)
-		incObj = model.ObjectiveValue(incumbent)
+		s.incumbent = append([]float64(nil), opts.InitialSolution...)
+		s.incObj = model.ObjectiveValue(s.incumbent)
 	}
 
 	// Root relaxation.
@@ -157,23 +262,18 @@ func Solve(model *Model, opts Options) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	sol := &Solution{Nodes: 1}
 	switch st {
 	case lpInfeasible:
-		sol.Status = StatusInfeasible
-		sol.Runtime = time.Since(start)
-		return sol, nil
+		return &Solution{Status: StatusInfeasible, Nodes: 1, Workers: workers, Runtime: time.Since(start)}, nil
 	case lpUnbounded:
-		sol.Status = StatusUnbounded
-		sol.Runtime = time.Since(start)
-		return sol, nil
+		return &Solution{Status: StatusUnbounded, Nodes: 1, Workers: workers, Runtime: time.Since(start)}, nil
 	case lpIterLimit:
 		// Root aborted (deadline or iteration cap): report the seed
 		// incumbent if one was provided, else no solution.
-		if incumbent != nil {
-			return &Solution{Status: StatusFeasible, Objective: incObj, Values: incumbent, Nodes: 1, Runtime: time.Since(start)}, nil
+		if s.incumbent != nil {
+			return &Solution{Status: StatusFeasible, Objective: s.incObj, Values: s.incumbent, Nodes: 1, Workers: workers, Runtime: time.Since(start)}, nil
 		}
-		return &Solution{Status: StatusNoSolution, Nodes: 1, Runtime: time.Since(start)}, nil
+		return &Solution{Status: StatusNoSolution, Nodes: 1, Workers: workers, Runtime: time.Since(start)}, nil
 	}
 	rootObj := model.ObjectiveValue(x[:len(model.Vars)])
 
@@ -187,6 +287,7 @@ func Solve(model *Model, opts Options) (*Solution, error) {
 			Bound:     rootObj,
 			Values:    vals,
 			Nodes:     1,
+			Workers:   workers,
 			Runtime:   time.Since(start),
 		}, nil
 	}
@@ -194,55 +295,55 @@ func Solve(model *Model, opts Options) (*Solution, error) {
 	// Heuristics on the root for a strong starting incumbent: plain rounding,
 	// then an LP dive that fixes fractional integers one at a time. A good
 	// incumbent matters because gap-based termination returns it directly.
-	consider := func(cand []float64) {
-		if cand == nil || !model.IsFeasible(cand, 1e-6) {
-			return
-		}
-		if obj := model.ObjectiveValue(cand); incumbent == nil || better(obj, incObj) {
-			incumbent, incObj = cand, obj
-		}
-	}
-	consider(roundHeuristic(model, x))
+	s.consider(roundHeuristic(model, x))
 	if opts.Heuristic != nil {
-		consider(opts.Heuristic(x[:len(model.Vars)]))
+		s.consider(opts.Heuristic(x[:len(model.Vars)]))
 	} else {
-		consider(diveFrom(model, p, p.lb, p.ub, x, deadline))
+		s.consider(diveFrom(model, p, p.lb, p.ub, x, deadline))
 	}
 
-	h := &nodeHeap{max: maximize}
-	heap.Init(h)
-	heap.Push(h, &bbNode{bound: rootObj})
+	s.h = &nodeHeap{max: maximize, det: workers > 1 && opts.Deterministic}
+	heap.Init(s.h)
+	s.pushNode(&bbNode{bound: rootObj})
+	s.nodes = 1
+	s.bestBound = rootObj
 
-	gapMet := func(bound float64) bool {
-		if incumbent == nil {
-			return false
-		}
-		return math.Abs(bound-incObj) <= opts.Gap*math.Max(1, math.Abs(incObj))+1e-9
+	switch {
+	case workers == 1:
+		s.runSerial()
+	case opts.Deterministic:
+		s.runBatch()
+	default:
+		s.runAsync()
 	}
+	return s.finish(), nil
+}
 
-	nodes := 1
-	bestBound := rootObj
-	deadlineHit := false
-	lbBuf := make([]float64, len(p.lb))
-	ubBuf := make([]float64, len(p.ub))
-	for h.Len() > 0 {
-		if opts.MaxNodes > 0 && nodes >= opts.MaxNodes {
+// runSerial is the single-threaded best-bound search (Workers == 1), kept
+// byte-for-byte equivalent to the historical solver so serial results are
+// stable across releases.
+func (s *search) runSerial() {
+	lbBuf := make([]float64, len(s.p.lb))
+	ubBuf := make([]float64, len(s.p.ub))
+	for s.h.Len() > 0 {
+		if s.opts.MaxNodes > 0 && s.nodes >= s.opts.MaxNodes {
 			break
 		}
-		if opts.TimeLimit > 0 && time.Since(start) > opts.TimeLimit {
-			deadlineHit = true
+		if s.opts.TimeLimit > 0 && time.Since(s.start) > s.opts.TimeLimit {
+			s.deadlineHit = true
 			break
 		}
-		node := heap.Pop(h).(*bbNode)
-		bestBound = node.bound // best-bound order: the top of the heap is the global bound
-		if incumbent != nil && !better(node.bound, incObj) {
+		node := heap.Pop(s.h).(*bbNode)
+		s.bestBound = node.bound // best-bound order: the popped node carries the global bound
+		if s.incumbent != nil && !s.better(node.bound, s.incObj) {
 			continue // pruned by bound
 		}
-		if gapMet(node.bound) {
+		if s.gapMet(node.bound) {
+			s.gapBreak = true
 			break
 		}
-		copy(lbBuf, p.lb)
-		copy(ubBuf, p.ub)
+		copy(lbBuf, s.p.lb)
+		copy(ubBuf, s.p.ub)
 		for _, o := range node.overrides {
 			if o.isUB {
 				ubBuf[o.col] = math.Min(ubBuf[o.col], o.value)
@@ -250,8 +351,8 @@ func Solve(model *Model, opts Options) (*Solution, error) {
 				lbBuf[o.col] = math.Max(lbBuf[o.col], o.value)
 			}
 		}
-		nodes++
-		st, x, err := solveLPDeadline(p, lbBuf, ubBuf, 0, deadline)
+		s.nodes++
+		st, x, err := solveLPDeadline(s.p, lbBuf, ubBuf, 0, s.deadline)
 		if err != nil || st == lpIterLimit {
 			continue // treat numerical trouble as a pruned node
 		}
@@ -263,65 +364,86 @@ func Solve(model *Model, opts Options) (*Solution, error) {
 			// root would have been unbounded. Defensive skip.
 			continue
 		}
-		obj := model.ObjectiveValue(x[:len(model.Vars)])
-		if incumbent != nil && !better(obj, incObj) {
+		obj := s.model.ObjectiveValue(x[:len(s.model.Vars)])
+		if s.incumbent != nil && !s.better(obj, s.incObj) {
 			continue
 		}
-		fr := firstFractional(model, x)
+		fr := firstFractional(s.model, x)
 		if fr < 0 {
-			vals := roundIntegral(model, x[:len(model.Vars)])
-			o := model.ObjectiveValue(vals)
-			if incumbent == nil || better(o, incObj) {
-				incumbent, incObj = vals, o
+			vals := roundIntegral(s.model, x[:len(s.model.Vars)])
+			o := s.model.ObjectiveValue(vals)
+			if s.incumbent == nil || s.better(o, s.incObj) {
+				s.incumbent, s.incObj = vals, o
 			}
 			continue
 		}
 		// Periodically derive an incumbent from this node's relaxation; cheap
 		// relative to the search it prunes.
-		if opts.Heuristic != nil && nodes%16 == 0 {
-			consider(opts.Heuristic(x[:len(model.Vars)]))
-		} else if opts.Heuristic == nil && nodes%64 == 0 {
-			consider(diveFrom(model, p, lbBuf, ubBuf, x, deadline))
+		if s.opts.Heuristic != nil && s.nodes%16 == 0 {
+			s.consider(s.opts.Heuristic(x[:len(s.model.Vars)]))
+		} else if s.opts.Heuristic == nil && s.nodes%64 == 0 {
+			s.consider(diveFrom(s.model, s.p, lbBuf, ubBuf, x, s.deadline))
 		}
 		// Branch on the most fractional integer variable.
-		bv := mostFractional(model, x)
+		bv := mostFractional(s.model, x)
 		v := x[bv]
 		down := append(append([]boundOverride(nil), node.overrides...),
 			boundOverride{col: bv, isUB: true, value: math.Floor(v + intTol)})
 		up := append(append([]boundOverride(nil), node.overrides...),
 			boundOverride{col: bv, isUB: false, value: math.Ceil(v - intTol)})
-		heap.Push(h, &bbNode{bound: obj, depth: node.depth + 1, overrides: down})
-		heap.Push(h, &bbNode{bound: obj, depth: node.depth + 1, overrides: up})
+		s.pushNode(&bbNode{bound: obj, depth: node.depth + 1, overrides: down})
+		s.pushNode(&bbNode{bound: obj, depth: node.depth + 1, overrides: up})
 	}
-	if h.Len() == 0 && !deadlineHit {
-		// Exhausted the tree: the incumbent is exactly optimal.
-		bestBound = incObj
-	} else if h.Len() > 0 {
-		top := h.nodes[0].bound
-		if maximize {
-			bestBound = math.Max(top, incObj)
-		} else {
-			bestBound = math.Min(top, incObj)
+}
+
+// finish derives the reported bound and status from the terminal search
+// state and assembles the Solution.
+func (s *search) finish() *Solution {
+	if s.gapBreak {
+		// Terminated by popping a gap-met node: that node's subtree is
+		// unexplored, so its bound (already in s.bestBound) remains the
+		// proven global bound. Historically the bound was recomputed from
+		// the heap top (or collapsed to the incumbent when the heap was
+		// empty) — both can be tighter than what was actually proven,
+		// overstating how close the incumbent is to optimal. Keep the
+		// popped bound, widened by any surviving open nodes.
+		b := s.bestBound
+		if s.h.Len() > 0 {
+			b = s.pickBound(b, s.h.nodes[0].bound)
 		}
+		if s.incumbent != nil {
+			b = s.pickBound(b, s.incObj)
+		}
+		s.bestBound = b
+	} else if s.boundFinal {
+		// Async limit stop: s.bestBound already folds the heap top and the
+		// bounds of nodes that were in flight when the stop flag rose —
+		// their subtrees are unexplored, so the heap top alone would
+		// overstate progress. Nothing tighter is provable here.
+	} else if s.h.Len() == 0 && !s.deadlineHit {
+		// Exhausted the tree: the incumbent is exactly optimal.
+		s.bestBound = s.incObj
+	} else if s.h.Len() > 0 {
+		s.bestBound = s.pickBound(s.h.nodes[0].bound, s.incObj)
 	}
 
-	sol = &Solution{Nodes: nodes, Bound: bestBound, Runtime: time.Since(start)}
-	if incumbent == nil {
-		if h.Len() == 0 {
+	sol := &Solution{Nodes: s.nodes, Bound: s.bestBound, Workers: s.workers, Runtime: time.Since(s.start)}
+	if s.incumbent == nil {
+		if s.h.Len() == 0 {
 			sol.Status = StatusInfeasible
 		} else {
 			sol.Status = StatusNoSolution
 		}
-		return sol, nil
+		return sol
 	}
-	sol.Values = incumbent
-	sol.Objective = incObj
-	if h.Len() == 0 || gapMet(bestBound) {
+	sol.Values = s.incumbent
+	sol.Objective = s.incObj
+	if s.h.Len() == 0 || s.gapMet(s.bestBound) {
 		sol.Status = StatusOptimal
 	} else {
 		sol.Status = StatusFeasible
 	}
-	return sol, nil
+	return sol
 }
 
 // firstFractional returns the index of an integer-typed variable whose LP
@@ -365,12 +487,11 @@ func roundIntegral(m *Model, x []float64) []float64 {
 	return out
 }
 
-// diveHeuristic walks from the root relaxation toward an integral point with
-// a bounded number of LP re-solves: each step fixes every already-integral
-// integer variable plus the most fractional one, so it converges in a
-// handful of solves even on large models. It returns a feasible integral
-// point or nil.
-// diveFrom dives from an arbitrary bound box and LP point.
+// diveFrom walks from an arbitrary bound box and LP point toward an integral
+// point with a bounded number of LP re-solves: each step fixes every
+// already-integral integer variable plus the most fractional one, so it
+// converges in a handful of solves even on large models. It returns a
+// feasible integral point or nil.
 func diveFrom(m *Model, p *lp, lb0, ub0 []float64, fromX []float64, deadline time.Time) []float64 {
 	const maxSteps = 12
 	lb := append([]float64(nil), lb0...)

@@ -1,0 +1,133 @@
+package tetrisched
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"tetrisched/internal/bitset"
+	"tetrisched/internal/compiler"
+	"tetrisched/internal/milp"
+	"tetrisched/internal/strl"
+)
+
+// batchedModel compiles a Fig 12-style aggregate model: `jobs` STRL requests
+// over an 80-node cluster, each a Max over deferred start options, all
+// sharing capacity — the shape the global scheduler hands the solver each
+// cycle, scaled by batch size.
+func batchedModel(tb testing.TB, jobs int, seed int64) *compiler.Compiled {
+	tb.Helper()
+	const nodes = 80
+	const horizon = 12
+	r := rand.New(rand.NewSource(seed))
+	all := bitset.New(nodes)
+	all.Fill()
+	exprs := make([]strl.Expr, jobs)
+	for j := 0; j < jobs; j++ {
+		k := 1 + r.Intn(12)
+		dur := int64(1 + r.Intn(4))
+		value := 1 + r.Float64()*9
+		var kids []strl.Expr
+		for s := int64(0); s+dur <= horizon; s += 2 {
+			// Later starts are worth less, like deadline-driven decay.
+			v := value * (1 - float64(s)/float64(2*horizon))
+			kids = append(kids, &strl.NCk{Set: all, K: k, Start: s, Dur: dur, Value: v})
+		}
+		exprs[j] = &strl.Max{Kids: kids}
+	}
+	comp, err := compiler.Compile(exprs, compiler.Options{Universe: nodes, Horizon: horizon})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return comp
+}
+
+// fig4Scenario is the §5.1 example from the examples suite.
+func fig4Scenario() []strl.Expr {
+	all := bitset.New(3)
+	all.Fill()
+	return []strl.Expr{
+		&strl.NCk{Set: all, K: 2, Start: 0, Dur: 1, Value: 1},
+		&strl.Max{Kids: []strl.Expr{
+			&strl.NCk{Set: all, K: 1, Start: 0, Dur: 2, Value: 1},
+			&strl.NCk{Set: all, K: 1, Start: 1, Dur: 2, Value: 1},
+			&strl.NCk{Set: all, K: 1, Start: 2, Dur: 2, Value: 1},
+		}},
+		&strl.Max{Kids: []strl.Expr{
+			&strl.NCk{Set: all, K: 3, Start: 0, Dur: 1, Value: 1},
+			&strl.NCk{Set: all, K: 3, Start: 1, Dur: 1, Value: 1},
+		}},
+	}
+}
+
+// TestSolverParityAcrossWorkers solves the example scenarios and batched
+// models under Workers=1 and Workers=4 and requires equal objectives: the
+// worker count must never change what the solver finds, only how fast.
+func TestSolverParityAcrossWorkers(t *testing.T) {
+	type scenario struct {
+		name string
+		comp *compiler.Compiled
+	}
+	fig4, err := compiler.Compile(fig4Scenario(), compiler.Options{Universe: 3, Horizon: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := []scenario{
+		{"fig4", fig4},
+		{"batch8", batchedModel(t, 8, 1)},
+		{"batch24", batchedModel(t, 24, 2)},
+	}
+	for _, sc := range scenarios {
+		serial, err := milp.Solve(sc.comp.Model, milp.Options{Workers: 1, Heuristic: sc.comp.GreedyRound})
+		if err != nil {
+			t.Fatalf("%s serial: %v", sc.name, err)
+		}
+		for _, opts := range []milp.Options{
+			{Workers: 4, Heuristic: sc.comp.GreedyRound},
+			{Workers: 4, Deterministic: true, Heuristic: sc.comp.GreedyRound},
+		} {
+			par, err := milp.Solve(sc.comp.Model, opts)
+			if err != nil {
+				t.Fatalf("%s workers=4 det=%v: %v", sc.name, opts.Deterministic, err)
+			}
+			if diff := par.Objective - serial.Objective; diff > 1e-6 || diff < -1e-6 {
+				t.Errorf("%s det=%v: objective %.9f != serial %.9f", sc.name, opts.Deterministic, par.Objective, serial.Objective)
+			}
+		}
+	}
+}
+
+// BenchmarkBatchedSolveSerial / ...Parallel measure the same Fig 12-style
+// aggregate solve to a 10% gap with one worker vs one per CPU. On multi-core
+// hosts the parallel driver reaches the gap in less wall-clock time; on a
+// single-CPU host the two coincide (Workers=GOMAXPROCS=1).
+func benchBatchedSolve(b *testing.B, jobs, workers int) {
+	comp := batchedModel(b, jobs, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := milp.Solve(comp.Model, milp.Options{
+			Gap:       0.1,
+			Workers:   workers,
+			Heuristic: comp.GreedyRound,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Values == nil {
+			b.Fatal("no solution")
+		}
+	}
+}
+
+func BenchmarkBatchedSolve8Serial(b *testing.B) { benchBatchedSolve(b, 8, 1) }
+func BenchmarkBatchedSolve8Parallel(b *testing.B) {
+	benchBatchedSolve(b, 8, runtime.GOMAXPROCS(0))
+}
+func BenchmarkBatchedSolve24Serial(b *testing.B) { benchBatchedSolve(b, 24, 1) }
+func BenchmarkBatchedSolve24Parallel(b *testing.B) {
+	benchBatchedSolve(b, 24, runtime.GOMAXPROCS(0))
+}
+func BenchmarkBatchedSolve48Serial(b *testing.B) { benchBatchedSolve(b, 48, 1) }
+func BenchmarkBatchedSolve48Parallel(b *testing.B) {
+	benchBatchedSolve(b, 48, runtime.GOMAXPROCS(0))
+}
