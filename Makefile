@@ -3,9 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench cover experiments experiments-quick examples clean
+.PHONY: all verify build vet test test-short race bench bench-all cover experiments experiments-quick examples clean
 
 all: build vet test race
+
+# Tier-1 verify chain (see ROADMAP.md).
+verify: build vet test race
 
 build:
 	$(GO) build ./...
@@ -24,8 +27,15 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# Reduced-scale regenerations of every paper table/figure.
+# Tracked solver benchmarks: the Fig 12-style batched solves and the full
+# scheduler cycle, 6 repetitions each, summarized into BENCH_milp.json so the
+# perf trajectory is diffable across PRs.
 bench:
+	$(GO) test -run='^$$' -bench='BenchmarkBatchedSolve|BenchmarkSchedulerCycle' -benchmem -count=6 . \
+		| $(GO) run ./cmd/benchjson -o BENCH_milp.json
+
+# Every benchmark in the repo (reduced-scale paper tables/figures included).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 cover:

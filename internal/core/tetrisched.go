@@ -61,8 +61,11 @@ type Config struct {
 	// highest-priority jobs are batched first (§5: "TetriSched has the
 	// flexibility of aggregating a subset of the pending jobs").
 	MaxBatch int
-	// DisableWarmStart turns off seeding the solver with the previous
-	// cycle's shifted plan (§3.2.2).
+	// DisableWarmStart turns off both solver warm paths: seeding the
+	// incumbent with the previous cycle's shifted plan (§3.2.2) and the LP
+	// kernel's dual-simplex re-solves from parent bases inside
+	// branch-and-bound. A bisection switch — results are identical either
+	// way, only slower.
 	DisableWarmStart bool
 	// BEDecay overrides the best-effort value decay horizon in seconds.
 	BEDecay int64
@@ -119,6 +122,10 @@ type SolveStats struct {
 	MaxNodes   int           // largest single-solve node count
 	Workers    int           // workers used by the most recent solve
 	WarmStarts int           // solves seeded with the previous cycle's shifted plan
+	LPIters    int64         // simplex pivots across all relaxations (primal + dual)
+	Phase1     int           // LPs that needed an artificial phase 1
+	WarmLPs    int           // node LPs re-solved dual-feasibly from a parent basis
+	ColdLPs    int           // LPs solved from scratch (incl. warm fallbacks)
 	Runtime    time.Duration // cumulative solver wall-clock
 }
 
@@ -137,6 +144,10 @@ func (st *SolveStats) record(sol *milp.Solution, warm bool, d time.Duration) {
 	if sol.Nodes > st.MaxNodes {
 		st.MaxNodes = sol.Nodes
 	}
+	st.LPIters += sol.LP.Iterations
+	st.Phase1 += sol.LP.Phase1
+	st.WarmLPs += sol.LP.WarmHits
+	st.ColdLPs += sol.LP.ColdStarts
 }
 
 // runInfo tracks the scheduler's belief about a running job.
@@ -342,12 +353,13 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 	}
 	t0 := time.Now()
 	sol, err := milp.Solve(comp.Model, milp.Options{
-		Gap:             s.cfg.Gap,
-		TimeLimit:       s.cfg.SolverTimeLimit,
-		Workers:         s.cfg.SolverWorkers,
-		Deterministic:   true,
-		InitialSolution: seed,
-		Heuristic:       comp.GreedyRound,
+		Gap:              s.cfg.Gap,
+		TimeLimit:        s.cfg.SolverTimeLimit,
+		Workers:          s.cfg.SolverWorkers,
+		Deterministic:    true,
+		InitialSolution:  seed,
+		Heuristic:        comp.GreedyRound,
+		DisableWarmStart: s.cfg.DisableWarmStart,
 	})
 	elapsed := time.Since(t0)
 	res.SolverLatency += elapsed
@@ -491,11 +503,12 @@ func (s *Scheduler) greedyCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 		}
 		t0 := time.Now()
 		sol, err := milp.Solve(comp.Model, milp.Options{
-			Gap:           s.cfg.Gap,
-			TimeLimit:     s.cfg.SolverTimeLimit,
-			Workers:       s.cfg.SolverWorkers,
-			Deterministic: true,
-			Heuristic:     comp.GreedyRound,
+			Gap:              s.cfg.Gap,
+			TimeLimit:        s.cfg.SolverTimeLimit,
+			Workers:          s.cfg.SolverWorkers,
+			Deterministic:    true,
+			Heuristic:        comp.GreedyRound,
+			DisableWarmStart: s.cfg.DisableWarmStart,
 		})
 		elapsed := time.Since(t0)
 		res.SolverLatency += elapsed

@@ -1,6 +1,9 @@
 // Package milp implements a small mixed-integer linear programming solver:
-// a bounded-variable revised primal simplex for the LP relaxation and a
-// best-bound branch-and-bound search with MIP-gap and time limits.
+// a bounded-variable revised simplex LP kernel (primal phase 1/2 for cold
+// starts, dual simplex for warm restarts from a parent basis) under a
+// best-bound branch-and-bound search with MIP-gap and time limits. Node
+// relaxations re-solve from their parent's basis snapshot by default; see
+// docs/SOLVER.md for the warm-restart protocol and its fallback rules.
 //
 // It fills the role IBM CPLEX plays in the TetriSched paper (§3.2.2): the
 // STRL compiler targets this package's Model type, and the scheduler asks for

@@ -31,21 +31,22 @@ import (
 // nodeResult is the off-lock outcome of evaluating one branch-and-bound node.
 type nodeResult struct {
 	node      *bbNode
-	dead      bool      // infeasible, numerical trouble, or obj-pruned at solve time
-	obj       float64   // LP objective of the node relaxation
-	integral  bool      // relaxation solved integral
-	vals      []float64 // integral point (when integral)
-	cand      []float64 // heuristic candidate to consider (may be nil)
-	branch    int       // branching column (when !integral)
-	branchVal float64   // relaxation value of the branching column
+	dead      bool        // infeasible, numerical trouble, or obj-pruned at solve time
+	obj       float64     // LP objective of the node relaxation
+	integral  bool        // relaxation solved integral
+	vals      []float64   // integral point (when integral)
+	cand      []float64   // heuristic candidate to consider (may be nil)
+	branch    int         // branching column (when !integral)
+	branchVal float64     // relaxation value of the branching column
+	snap      *basisState // node's optimal basis, shared by both children
 }
 
-// evalNode solves one node's LP relaxation and derives everything the
-// shared-state apply step needs. It only reads search state that is fixed
-// for the duration of the solve (model, p, opts, deadline) plus the caller's
-// scratch buffers, so it runs without the driver lock. idx is the node's
-// 1-based processing index, used for the heuristic cadence.
-func (s *search) evalNode(node *bbNode, lbBuf, ubBuf []float64, idx int) nodeResult {
+// evalNode solves one node's LP relaxation on the worker's scratch and
+// derives everything the shared-state apply step needs. It only reads search
+// state that is fixed for the duration of the solve (model, p, opts,
+// deadline) plus the caller's scratch, so it runs without the driver lock.
+// idx is the node's 1-based processing index, used for the heuristic cadence.
+func (s *search) evalNode(node *bbNode, sc *simplexState, lbBuf, ubBuf []float64, idx int) nodeResult {
 	copy(lbBuf, s.p.lb)
 	copy(ubBuf, s.p.ub)
 	for _, o := range node.overrides {
@@ -55,7 +56,7 @@ func (s *search) evalNode(node *bbNode, lbBuf, ubBuf []float64, idx int) nodeRes
 			lbBuf[o.col] = math.Max(lbBuf[o.col], o.value)
 		}
 	}
-	st, x, err := solveLPDeadline(s.p, lbBuf, ubBuf, 0, s.deadline)
+	st, x, err := s.solveNodeLP(sc, node, lbBuf, ubBuf)
 	if err != nil || st != lpOptimal {
 		// Infeasible, unbounded (impossible below a bounded root), iteration
 		// limit, or numerical trouble: prune, as the serial loop does.
@@ -67,12 +68,16 @@ func (s *search) evalNode(node *bbNode, lbBuf, ubBuf []float64, idx int) nodeRes
 		r.vals = roundIntegral(s.model, x[:len(s.model.Vars)])
 		return r
 	}
+	// Snapshot before the heuristic dive: the dive solves on its own scratch,
+	// but taking the basis now keeps the capture adjacent to the solve it
+	// belongs to.
+	r.snap = s.nodeSnapshot(sc)
 	if s.opts.Heuristic != nil && idx%16 == 0 {
 		if cand := s.opts.Heuristic(x[:len(s.model.Vars)]); cand != nil && s.model.IsFeasible(cand, 1e-6) {
 			r.cand = cand
 		}
 	} else if s.opts.Heuristic == nil && idx%64 == 0 {
-		if cand := diveFrom(s.model, s.p, lbBuf, ubBuf, x, s.deadline); cand != nil {
+		if cand := diveFrom(s.model, s.p, lbBuf, ubBuf, x, s.deadline, !s.opts.DisableWarmStart, &sc.stats); cand != nil {
 			r.cand = cand
 		}
 	}
@@ -112,8 +117,8 @@ func (s *search) applyResult(r nodeResult) {
 		boundOverride{col: r.branch, isUB: true, value: math.Floor(r.branchVal + intTol)})
 	up := append(append([]boundOverride(nil), r.node.overrides...),
 		boundOverride{col: r.branch, isUB: false, value: math.Ceil(r.branchVal - intTol)})
-	s.pushNode(&bbNode{bound: r.obj, depth: r.node.depth + 1, overrides: down})
-	s.pushNode(&bbNode{bound: r.obj, depth: r.node.depth + 1, overrides: up})
+	s.pushNode(&bbNode{bound: r.obj, depth: r.node.depth + 1, overrides: down, warm: r.snap})
+	s.pushNode(&bbNode{bound: r.obj, depth: r.node.depth + 1, overrides: up, warm: r.snap})
 }
 
 // runAsync is the free-running worker pool. Shared state (heap, incumbent,
@@ -169,10 +174,14 @@ func (s *search) runAsync() {
 		stop()
 	}
 	worker := func() {
+		sc := newScratch(s.p)
 		lbBuf := make([]float64, len(s.p.lb))
 		ubBuf := make([]float64, len(s.p.ub))
 		mu.Lock()
 		defer mu.Unlock()
+		// LIFO defers: the stats fold runs before the Unlock above, i.e.
+		// still under the driver lock.
+		defer s.lp.add(&sc.stats)
 		for {
 			for !stopped && s.h.Len() == 0 && len(inFlight) > 0 {
 				cond.Wait()
@@ -211,7 +220,7 @@ func (s *search) runAsync() {
 			idx := s.nodes
 			inFlight = append(inFlight, node.bound)
 			mu.Unlock()
-			r := s.evalNode(node, lbBuf, ubBuf, idx)
+			r := s.evalNode(node, sc, lbBuf, ubBuf, idx)
 			mu.Lock()
 			for i, fb := range inFlight {
 				if fb == node.bound {
@@ -251,10 +260,17 @@ func (s *search) weakerBound(a, b float64) bool {
 func (s *search) runBatch() {
 	lbBufs := make([][]float64, s.workers)
 	ubBufs := make([][]float64, s.workers)
+	scratches := make([]*simplexState, s.workers)
 	for i := range lbBufs {
 		lbBufs[i] = make([]float64, len(s.p.lb))
 		ubBufs[i] = make([]float64, len(s.p.ub))
+		scratches[i] = newScratch(s.p)
 	}
+	defer func() {
+		for _, sc := range scratches {
+			s.lp.add(&sc.stats)
+		}
+	}()
 	batch := make([]*bbNode, 0, s.workers)
 	idxs := make([]int, 0, s.workers)
 	results := make([]nodeResult, s.workers)
@@ -297,7 +313,7 @@ func (s *search) runBatch() {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				results[i] = s.evalNode(batch[i], lbBufs[i], ubBufs[i], idxs[i])
+				results[i] = s.evalNode(batch[i], scratches[i], lbBufs[i], ubBufs[i], idxs[i])
 			}(i)
 		}
 		wg.Wait()

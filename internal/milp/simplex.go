@@ -14,6 +14,9 @@ const (
 	lpInfeasible
 	lpUnbounded
 	lpIterLimit
+	// lpStalled is internal to the warm-start path: the dual phase exceeded
+	// its iteration budget and the caller must fall back to a cold solve.
+	lpStalled
 )
 
 // Numerical tolerances for the simplex method.
@@ -21,13 +24,38 @@ const (
 	feasTol  = 1e-7 // bound/constraint feasibility
 	optTol   = 1e-7 // reduced-cost optimality
 	pivotTol = 1e-9 // minimum acceptable pivot magnitude
+	// warmTol bounds the reduced-cost violation tolerated when adopting a
+	// parent basis for a dual-simplex restart; beyond it the snapshot is
+	// treated as stale and the solve falls back to the cold path.
+	warmTol = 1e-6
 )
 
 var errSingularBasis = errors.New("milp: singular basis during refactorization")
 
-type colEntry struct {
-	row  int
-	coef float64
+// LPStats aggregates LP-kernel telemetry across every relaxation solved
+// during one Solve call: the root, branch-and-bound node re-solves, and
+// heuristic dives.
+type LPStats struct {
+	// Iterations counts simplex pivots, primal and dual phases combined.
+	Iterations int64
+	// Phase1 counts solves that needed a signed-artificial phase 1.
+	Phase1 int
+	// WarmHits counts node LPs re-solved dual-feasibly from a parent basis.
+	WarmHits int
+	// WarmFallbacks counts warm restarts abandoned for the cold path
+	// (stale or corrupt snapshot, refactorization failure, dual-infeasible
+	// start, or a stalled dual phase).
+	WarmFallbacks int
+	// ColdStarts counts LPs solved from scratch, including warm fallbacks.
+	ColdStarts int
+}
+
+func (a *LPStats) add(b *LPStats) {
+	a.Iterations += b.Iterations
+	a.Phase1 += b.Phase1
+	a.WarmHits += b.WarmHits
+	a.WarmFallbacks += b.WarmFallbacks
+	a.ColdStarts += b.ColdStarts
 }
 
 // lp is a linear program in computational standard form:
@@ -36,15 +64,19 @@ type colEntry struct {
 //
 // where the columns include one slack per original row (a·x + s = rhs, with
 // slack bounds encoding ≤ / ≥ / =). Artificial columns are appended during
-// phase 1 when the all-slack basis is infeasible.
+// phase 1 when the all-slack basis is infeasible. The matrix is stored as
+// flat compressed sparse columns so pricing, FTRAN, and refactorization walk
+// contiguous arrays and skip zeros.
 type lp struct {
-	m, n  int          // rows, columns (structurals + slacks)
-	cols  [][]colEntry // sparse columns of A
-	b     []float64
-	c     []float64 // phase-2 objective (minimize)
-	lb    []float64
-	ub    []float64
-	nvars int // structural variable count (prefix of columns)
+	m, n     int
+	colStart []int32 // column j occupies colRow/colVal[colStart[j]:colStart[j+1]]
+	colRow   []int32
+	colVal   []float64
+	b        []float64
+	c        []float64 // phase-2 objective (minimize)
+	lb       []float64
+	ub       []float64
+	nvars    int // structural variable count (prefix of columns)
 }
 
 // newLP converts a Model into computational standard form. Branch-and-bound
@@ -52,15 +84,16 @@ type lp struct {
 func newLP(model *Model) *lp {
 	m := len(model.Cons)
 	nv := len(model.Vars)
+	n := nv + m
 	p := &lp{
-		m:     m,
-		n:     nv + m,
-		cols:  make([][]colEntry, nv+m),
-		b:     make([]float64, m),
-		c:     make([]float64, nv+m),
-		lb:    make([]float64, nv+m),
-		ub:    make([]float64, nv+m),
-		nvars: nv,
+		m:        m,
+		n:        n,
+		colStart: make([]int32, n+1),
+		b:        make([]float64, m),
+		c:        make([]float64, n),
+		lb:       make([]float64, n),
+		ub:       make([]float64, n),
+		nvars:    nv,
 	}
 	sign := 1.0
 	if model.Sense == Maximize {
@@ -71,15 +104,43 @@ func newLP(model *Model) *lp {
 		p.lb[j] = v.Lb
 		p.ub[j] = v.Ub
 	}
+	// Pass 1: per-column entry counts (structurals; slacks are singletons).
+	nnz := 0
+	for _, con := range model.Cons {
+		for _, t := range con.Terms {
+			if t.Coef != 0 {
+				p.colStart[t.Var+1]++
+				nnz++
+			}
+		}
+	}
+	for j := 0; j < nv; j++ {
+		p.colStart[j+1] += p.colStart[j]
+	}
+	for i := 0; i < m; i++ {
+		p.colStart[nv+i+1] = p.colStart[nv+i] + 1
+	}
+	p.colRow = make([]int32, nnz+m)
+	p.colVal = make([]float64, nnz+m)
+	// Pass 2: fill, tracking the next free slot per column.
+	next := make([]int32, nv)
+	for j := 0; j < nv; j++ {
+		next[j] = p.colStart[j]
+	}
 	for i, con := range model.Cons {
 		p.b[i] = con.RHS
 		for _, t := range con.Terms {
 			if t.Coef != 0 {
-				p.cols[t.Var] = append(p.cols[t.Var], colEntry{row: i, coef: t.Coef})
+				k := next[t.Var]
+				next[t.Var]++
+				p.colRow[k] = int32(i)
+				p.colVal[k] = t.Coef
 			}
 		}
 		sj := nv + i
-		p.cols[sj] = []colEntry{{row: i, coef: 1}}
+		k := p.colStart[sj]
+		p.colRow[k] = int32(i)
+		p.colVal[k] = 1
 		switch con.Op {
 		case LE:
 			p.lb[sj], p.ub[sj] = 0, Inf
@@ -100,29 +161,78 @@ const (
 	inBasis
 )
 
-// simplexState carries the working state of one LP solve.
+// simplexState is the reusable working state of the LP kernel: one per
+// branch-and-bound worker (plus one for the root), so the buffers — including
+// the m×m basis inverse — are allocated once per search, not once per node.
+// A state carries no result across solves (every solve re-initializes from
+// its bounds or snapshot), only buffers and accumulated LPStats, so reusing
+// one keeps repeated solves deterministic.
 type simplexState struct {
-	p        *lp
-	nTotal   int // columns including artificials
-	artCols  [][]colEntry
-	cost     []float64
-	basis    []int  // row -> column
-	status   []byte // column -> position
-	x        []float64
-	binv     [][]float64 // dense basis inverse
-	y        []float64   // duals scratch
-	w        []float64   // pivot column scratch
-	ratios   []float64   // ratio-test scratch
+	p       *lp
+	nTotal  int       // columns including phase-1 artificials
+	artCoef []float64 // phase-1 artificial column coefs (±1); nil outside phase 1
+	cost    []float64
+	basis   []int  // row -> column
+	status  []byte // column -> position
+	x       []float64
+	binv    []float64 // dense basis inverse, row-major, stride m
+	y       []float64 // duals, maintained incrementally across pivots
+	w       []float64 // FTRAN scratch
+	ratios  []float64 // ratio-test scratch
+	rbuf    []float64 // residual scratch
+	cand    []int32   // pricing candidate list (multiple pricing)
+
+	refac     []float64   // refactorization workspace, m×2m flat
+	refacRows [][]float64 // row headers into refac, swapped while pivoting
+
+	lbFull, ubFull, costFull []float64 // phase-1 bound/cost buffers
+
 	iter     int
 	maxIter  int
 	bland    bool
 	stall    int
 	deadline time.Time // zero = no deadline
+	stats    LPStats
 }
 
-// solveLP solves the LP under the given bound overrides. The returned values
-// cover the structural and slack columns; the objective is in the internal
-// minimize orientation (callers re-evaluate via the Model).
+// newScratch allocates a reusable solver state for p.
+func newScratch(p *lp) *simplexState {
+	return &simplexState{
+		p:      p,
+		basis:  make([]int, p.m),
+		status: make([]byte, p.n, p.n+p.m),
+		x:      make([]float64, p.n, p.n+p.m),
+		binv:   make([]float64, p.m*p.m),
+		y:      make([]float64, p.m),
+		w:      make([]float64, p.m),
+		ratios: make([]float64, p.m),
+		rbuf:   make([]float64, p.m),
+		cand:   make([]int32, 0, p.n),
+	}
+}
+
+// begin resets per-solve state (buffers and stats survive).
+func (s *simplexState) begin(maxIter int, deadline time.Time) {
+	p := s.p
+	if maxIter <= 0 {
+		maxIter = 200*(p.m+1) + 20000
+	}
+	s.iter = 0
+	s.maxIter = maxIter
+	s.deadline = deadline
+	s.nTotal = p.n
+	s.artCoef = nil
+	s.bland, s.stall = false, 0
+	s.cand = s.cand[:0] // bounds differ per solve; stale candidates mislead
+	s.status = s.status[:p.n]
+	s.x = s.x[:p.n]
+}
+
+// solveLP solves the LP under the given bound overrides on a fresh scratch.
+// The returned values cover the structural and slack columns; the objective
+// is in the internal minimize orientation (callers re-evaluate via the
+// Model). The returned slice aliases the scratch and is invalidated by the
+// next solve on it.
 func solveLP(p *lp, lb, ub []float64, maxIter int) (lpStatus, []float64, error) {
 	return solveLPDeadline(p, lb, ub, maxIter, time.Time{})
 }
@@ -130,22 +240,15 @@ func solveLP(p *lp, lb, ub []float64, maxIter int) (lpStatus, []float64, error) 
 // solveLPDeadline is solveLP with a wall-clock deadline; when exceeded the
 // solve aborts with lpIterLimit.
 func solveLPDeadline(p *lp, lb, ub []float64, maxIter int, deadline time.Time) (lpStatus, []float64, error) {
-	if maxIter <= 0 {
-		maxIter = 200*(p.m+1) + 20000
-	}
-	s := &simplexState{
-		p:        p,
-		nTotal:   p.n,
-		basis:    make([]int, p.m),
-		status:   make([]byte, p.n, p.n+p.m),
-		x:        make([]float64, p.n, p.n+p.m),
-		binv:     identity(p.m),
-		y:        make([]float64, p.m),
-		w:        make([]float64, p.m),
-		ratios:   make([]float64, p.m),
-		maxIter:  maxIter,
-		deadline: deadline,
-	}
+	return newScratch(p).solve(lb, ub, maxIter, deadline)
+}
+
+// solve runs a cold primal solve: quick-start from the all-slack basis when
+// it is feasible, signed-artificial phase 1 otherwise.
+func (s *simplexState) solve(lb, ub []float64, maxIter int, deadline time.Time) (lpStatus, []float64, error) {
+	s.begin(maxIter, deadline)
+	s.stats.ColdStarts++
+	p := s.p
 	for j := 0; j < p.n; j++ {
 		switch {
 		case !math.IsInf(lb[j], -1):
@@ -157,12 +260,12 @@ func solveLPDeadline(p *lp, lb, ub []float64, maxIter int, deadline time.Time) (
 		}
 	}
 	// Residuals of the rows with all columns at their resting points.
-	resid := make([]float64, p.m)
+	resid := s.rbuf
 	copy(resid, p.b)
 	for j := 0; j < p.nvars; j++ {
-		if s.x[j] != 0 {
-			for _, e := range p.cols[j] {
-				resid[e.row] -= e.coef * s.x[j]
+		if xj := s.x[j]; xj != 0 {
+			for k := p.colStart[j]; k < p.colStart[j+1]; k++ {
+				resid[p.colRow[k]] -= p.colVal[k] * xj
 			}
 		}
 	}
@@ -177,11 +280,13 @@ func solveLPDeadline(p *lp, lb, ub []float64, maxIter int, deadline time.Time) (
 		}
 	}
 	if feasibleStart {
+		s.clearBinv()
 		for i := 0; i < p.m; i++ {
 			sj := p.nvars + i
 			s.basis[i] = sj
 			s.status[sj] = inBasis
 			s.x[sj] = resid[i]
+			s.binv[i*p.m+i] = 1
 		}
 		st, err := s.iterate(lb, ub, p.c)
 		if err != nil {
@@ -191,23 +296,35 @@ func solveLPDeadline(p *lp, lb, ub []float64, maxIter int, deadline time.Time) (
 	}
 
 	// Phase 1: one signed artificial per row so each starts basic at |resid|.
-	lbFull := append(append(make([]float64, 0, p.n+p.m), lb...), make([]float64, p.m)...)
-	ubFull := append(append(make([]float64, 0, p.n+p.m), ub...), make([]float64, p.m)...)
-	costP1 := make([]float64, p.n+p.m)
-	s.artCols = make([][]colEntry, p.m)
+	s.stats.Phase1++
+	if s.lbFull == nil {
+		s.lbFull = make([]float64, p.n+p.m)
+		s.ubFull = make([]float64, p.n+p.m)
+		s.costFull = make([]float64, p.n+p.m)
+	}
+	lbFull, ubFull, costP1 := s.lbFull, s.ubFull, s.costFull
+	copy(lbFull, lb)
+	copy(ubFull, ub)
+	for j := range costP1 {
+		costP1[j] = 0
+	}
+	s.artCoef = make([]float64, p.m)
+	s.x = s.x[:p.n+p.m]
+	s.status = s.status[:p.n+p.m]
+	s.clearBinv()
 	for i := 0; i < p.m; i++ {
 		aj := p.n + i
 		coef := 1.0
 		if resid[i] < 0 {
 			coef = -1.0
 		}
-		s.artCols[i] = []colEntry{{row: i, coef: coef}}
+		s.artCoef[i] = coef
 		lbFull[aj], ubFull[aj] = 0, Inf
 		costP1[aj] = 1
 		s.basis[i] = aj
-		s.binv[i][i] = coef // basis matrix diag(±1) is its own inverse
-		s.x = append(s.x, math.Abs(resid[i]))
-		s.status = append(s.status, inBasis)
+		s.binv[i*p.m+i] = coef // basis matrix diag(±1) is its own inverse
+		s.x[aj] = math.Abs(resid[i])
+		s.status[aj] = inBasis
 	}
 	s.nTotal = p.n + p.m
 	st, err := s.iterate(lbFull, ubFull, costP1)
@@ -231,8 +348,11 @@ func solveLPDeadline(p *lp, lb, ub []float64, maxIter int, deadline time.Time) (
 			s.x[j] = clampVal(s.x[j], 0, 0)
 		}
 	}
-	costP2 := make([]float64, s.nTotal)
+	costP2 := costP1
 	copy(costP2, p.c)
+	for j := p.n; j < s.nTotal; j++ {
+		costP2[j] = 0
+	}
 	s.bland, s.stall = false, 0
 	st, err = s.iterate(lbFull, ubFull, costP2)
 	if err != nil {
@@ -251,27 +371,73 @@ func clampVal(v, lo, hi float64) float64 {
 	return v
 }
 
-func identity(m int) [][]float64 {
-	a := make([][]float64, m)
-	for i := range a {
-		a[i] = make([]float64, m)
-		a[i][i] = 1
+func (s *simplexState) clearBinv() {
+	b := s.binv
+	for i := range b {
+		b[i] = 0
 	}
-	return a
 }
 
-// column returns the sparse column j, including artificial columns.
-func (s *simplexState) column(j int) []colEntry {
-	if j < s.p.n {
-		return s.p.cols[j]
+// computeDuals recomputes y = cBᵀ·Binv from scratch. Pivots keep y current
+// with a rank-1 update; this full pass runs at phase entry and after every
+// refactorization to contain drift.
+func (s *simplexState) computeDuals() {
+	m := s.p.m
+	y := s.y
+	for i := 0; i < m; i++ {
+		y[i] = 0
 	}
-	return s.artCols[j-s.p.n]
+	for r := 0; r < m; r++ {
+		cb := s.cost[s.basis[r]]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[r*m : r*m+m]
+		for i, v := range row {
+			y[i] += cb * v
+		}
+	}
+}
+
+// ftran computes w = Binv·a_enter into s.w, exploiting column sparsity: each
+// basis-inverse row is streamed once and only the column's nonzeros touched.
+func (s *simplexState) ftran(enter int) {
+	p := s.p
+	m := p.m
+	w := s.w
+	if enter >= p.n {
+		ar, ac := enter-p.n, s.artCoef[enter-p.n]
+		for i := 0; i < m; i++ {
+			w[i] = s.binv[i*m+ar] * ac
+		}
+		return
+	}
+	st0, en0 := p.colStart[enter], p.colStart[enter+1]
+	if en0-st0 == 1 {
+		r0, v0 := int(p.colRow[st0]), p.colVal[st0]
+		for i := 0; i < m; i++ {
+			w[i] = s.binv[i*m+r0] * v0
+		}
+		return
+	}
+	rows, vals := p.colRow[st0:en0], p.colVal[st0:en0]
+	for i := 0; i < m; i++ {
+		row := s.binv[i*m : i*m+m]
+		acc := 0.0
+		for k, r := range rows {
+			acc += row[r] * vals[k]
+		}
+		w[i] = acc
+	}
 }
 
 // iterate runs primal simplex iterations to optimality under the given
 // bounds and cost vector.
 func (s *simplexState) iterate(lb, ub, cost []float64) (lpStatus, error) {
 	s.cost = cost
+	p := s.p
+	m := p.m
+	s.computeDuals()
 	refactorCountdown := 120
 	for {
 		if s.iter >= s.maxIter {
@@ -281,65 +447,151 @@ func (s *simplexState) iterate(lb, ub, cost []float64) (lpStatus, error) {
 			return lpIterLimit, nil
 		}
 		s.iter++
+		s.stats.Iterations++
 		if refactorCountdown--; refactorCountdown <= 0 {
 			if err := s.refactorize(); err != nil {
 				return lpIterLimit, err
 			}
+			s.computeDuals()
 			refactorCountdown = 120
 		}
-		// Duals: y = cBᵀ·Binv.
-		for i := 0; i < s.p.m; i++ {
-			s.y[i] = 0
-		}
-		for r := 0; r < s.p.m; r++ {
-			cb := cost[s.basis[r]]
-			if cb == 0 {
-				continue
-			}
-			row := s.binv[r]
-			for i := 0; i < s.p.m; i++ {
-				s.y[i] += cb * row[i]
-			}
-		}
-		// Pricing: Dantzig rule, Bland's rule once stalling is detected.
+		// Pricing: Dantzig rule over a candidate list (multiple pricing) —
+		// attractive columns found by the last full scan are re-priced first,
+		// and a full scan runs only when the list runs dry. Optimality is
+		// declared exclusively by an empty full scan, so the shortcut cannot
+		// terminate early. Bland's rule and phase 1 always scan in full.
 		enter, dir := -1, 1.0
+		var enterD float64
 		best := 0.0
-		for j := 0; j < s.nTotal; j++ {
-			st := s.status[j]
-			if st == inBasis || lb[j] == ub[j] {
-				continue
-			}
-			d := cost[j]
-			for _, e := range s.column(j) {
-				d -= s.y[e.row] * e.coef
-			}
-			var score, dj float64
-			switch st {
-			case atLower:
-				if d < -optTol {
-					score, dj = -d, 1
+		y := s.y
+		useCand := !s.bland && s.nTotal == p.n
+		if useCand && len(s.cand) > 0 {
+			keep := s.cand[:0]
+			for _, j32 := range s.cand {
+				j := int(j32)
+				st := s.status[j]
+				if st == inBasis || lb[j] == ub[j] {
+					continue
 				}
-			case atUpper:
-				if d > optTol {
-					score, dj = d, -1
+				d := cost[j]
+				for k := p.colStart[j]; k < p.colStart[j+1]; k++ {
+					d -= y[p.colRow[k]] * p.colVal[k]
 				}
-			case atFree:
-				if math.Abs(d) > optTol {
-					score = math.Abs(d)
-					if d > 0 {
-						dj = -1
-					} else {
-						dj = 1
+				var score, dj float64
+				switch st {
+				case atLower:
+					if d < -optTol {
+						score, dj = -d, 1
+					}
+				case atUpper:
+					if d > optTol {
+						score, dj = d, -1
+					}
+				case atFree:
+					if math.Abs(d) > optTol {
+						score = math.Abs(d)
+						if d > 0 {
+							dj = -1
+						} else {
+							dj = 1
+						}
+					}
+				}
+				if score > 0 {
+					keep = append(keep, j32)
+					if score > best {
+						best, enter, dir, enterD = score, j, dj, d
 					}
 				}
 			}
-			if score > 0 {
-				if s.bland {
-					enter, dir = j, dj
-					break
+			s.cand = keep
+		}
+		if enter < 0 {
+			if useCand {
+				s.cand = s.cand[:0]
+			}
+			for j := 0; j < p.n; j++ {
+				st := s.status[j]
+				if st == inBasis || lb[j] == ub[j] {
+					continue
 				}
-				if score > best {
-					best, enter, dir = score, j, dj
+				d := cost[j]
+				for k := p.colStart[j]; k < p.colStart[j+1]; k++ {
+					d -= y[p.colRow[k]] * p.colVal[k]
+				}
+				var score, dj float64
+				switch st {
+				case atLower:
+					if d < -optTol {
+						score, dj = -d, 1
+					}
+				case atUpper:
+					if d > optTol {
+						score, dj = d, -1
+					}
+				case atFree:
+					if math.Abs(d) > optTol {
+						score = math.Abs(d)
+						if d > 0 {
+							dj = -1
+						} else {
+							dj = 1
+						}
+					}
+				}
+				if score > 0 {
+					if s.bland {
+						enter, dir, enterD = j, dj, d
+						break
+					}
+					if useCand {
+						s.cand = append(s.cand, int32(j))
+					}
+					if score > best {
+						best, enter, dir, enterD = score, j, dj, d
+					}
+				}
+			}
+		}
+		// Artificial columns participate only in phase 1; under Bland's rule
+		// they are scanned only when no structural column qualified (their
+		// indices are higher by construction).
+		if s.nTotal > p.n && !(s.bland && enter >= 0) {
+			for j := p.n; j < s.nTotal; j++ {
+				st := s.status[j]
+				if st == inBasis || lb[j] == ub[j] {
+					continue
+				}
+				ai := j - p.n
+				d := cost[j] - y[ai]*s.artCoef[ai]
+				var score, dj float64
+				switch st {
+				case atLower:
+					if d < -optTol {
+						score, dj = -d, 1
+					}
+				case atUpper:
+					if d > optTol {
+						score, dj = d, -1
+					}
+				case atFree:
+					if math.Abs(d) > optTol {
+						score = math.Abs(d)
+						if d > 0 {
+							dj = -1
+						} else {
+							dj = 1
+						}
+					}
+				}
+				if score > 0 {
+					if s.bland {
+						enter, dir, enterD = j, dj, d
+						break
+					}
+					if score > best {
+						best, enter, dir, enterD = score, j, dj, d
+					}
 				}
 			}
 		}
@@ -347,25 +599,16 @@ func (s *simplexState) iterate(lb, ub, cost []float64) (lpStatus, error) {
 			return lpOptimal, nil
 		}
 		// Pivot column w = Binv·a_enter.
-		for i := 0; i < s.p.m; i++ {
-			s.w[i] = 0
-		}
-		for _, e := range s.column(enter) {
-			if e.coef == 0 {
-				continue
-			}
-			for i := 0; i < s.p.m; i++ {
-				s.w[i] += s.binv[i][e.row] * e.coef
-			}
-		}
+		s.ftran(enter)
+		w := s.w
 		// Ratio test, pass 1: the smallest blocking step.
 		tLim := math.Inf(1)
 		if !math.IsInf(lb[enter], -1) && !math.IsInf(ub[enter], 1) {
 			tLim = ub[enter] - lb[enter] // bound flip distance
 		}
-		for i := 0; i < s.p.m; i++ {
+		for i := 0; i < m; i++ {
 			s.ratios[i] = math.Inf(1)
-			wi := dir * s.w[i]
+			wi := dir * w[i]
 			if math.Abs(wi) < pivotTol {
 				continue
 			}
@@ -397,27 +640,27 @@ func (s *simplexState) iterate(lb, ub, cost []float64) (lpStatus, error) {
 		// pivot magnitude for numerical stability (Bland: lowest index).
 		leave := -1
 		bestPivot := 0.0
-		for i := 0; i < s.p.m; i++ {
+		for i := 0; i < m; i++ {
 			if s.ratios[i] <= tLim+1e-9 && !math.IsInf(s.ratios[i], 1) {
 				if s.bland {
 					if leave < 0 || s.basis[i] < s.basis[leave] {
 						leave = i
 					}
-				} else if math.Abs(s.w[i]) > bestPivot {
-					bestPivot = math.Abs(s.w[i])
+				} else if math.Abs(w[i]) > bestPivot {
+					bestPivot = math.Abs(w[i])
 					leave = i
 				}
 			}
 		}
 		// Apply the step.
 		s.x[enter] += dir * tLim
-		for i := 0; i < s.p.m; i++ {
-			if s.w[i] != 0 {
-				s.x[s.basis[i]] -= dir * tLim * s.w[i]
+		for i := 0; i < m; i++ {
+			if w[i] != 0 {
+				s.x[s.basis[i]] -= dir * tLim * w[i]
 			}
 		}
 		if leave < 0 {
-			// Bound flip.
+			// Bound flip: no basis change, duals unchanged.
 			if s.status[enter] == atLower {
 				s.status[enter] = atUpper
 				s.x[enter] = ub[enter]
@@ -430,7 +673,7 @@ func (s *simplexState) iterate(lb, ub, cost []float64) (lpStatus, error) {
 		}
 		out := s.basis[leave]
 		// Land the leaving variable exactly on the bound it hit.
-		if dir*s.w[leave] > 0 {
+		if dir*w[leave] > 0 {
 			s.x[out] = lb[out]
 			s.status[out] = atLower
 		} else {
@@ -440,6 +683,15 @@ func (s *simplexState) iterate(lb, ub, cost []float64) (lpStatus, error) {
 		s.basis[leave] = enter
 		s.status[enter] = inBasis
 		s.pivotUpdate(leave)
+		// Duals follow the basis by a rank-1 update: after the pivot the new
+		// row r of Binv is ρ_old/piv, and y' = y + d_enter·(new row r). This
+		// replaces the O(m²) BTRAN the loop head would otherwise need.
+		if enterD != 0 {
+			row := s.binv[leave*m : leave*m+m]
+			for k, v := range row {
+				y[k] += enterD * v
+			}
+		}
 		s.noteProgress(tLim, best)
 	}
 }
@@ -458,24 +710,25 @@ func (s *simplexState) noteProgress(step, reducedCost float64) {
 }
 
 // pivotUpdate applies the product-form basis-inverse update for a pivot in
-// row r, where s.w holds Binv·a_enter.
+// row r, where s.w holds Binv·a_enter. Rows with a negligible multiplier are
+// skipped entirely, so the cost scales with the fill of the pivot column.
 func (s *simplexState) pivotUpdate(r int) {
-	piv := s.w[r]
-	rowR := s.binv[r]
-	inv := 1 / piv
-	for k := 0; k < s.p.m; k++ {
+	m := s.p.m
+	rowR := s.binv[r*m : r*m+m]
+	inv := 1 / s.w[r]
+	for k := range rowR {
 		rowR[k] *= inv
 	}
-	for i := 0; i < s.p.m; i++ {
+	for i := 0; i < m; i++ {
 		if i == r {
 			continue
 		}
 		f := s.w[i]
-		if math.Abs(f) < 1e-13 {
+		if f < 1e-13 && f > -1e-13 {
 			continue
 		}
-		rowI := s.binv[i]
-		for k := 0; k < s.p.m; k++ {
+		rowI := s.binv[i*m : i*m+m]
+		for k := range rowI {
 			rowI[k] -= f * rowR[k]
 		}
 	}
@@ -483,32 +736,47 @@ func (s *simplexState) pivotUpdate(r int) {
 
 // refactorize recomputes the basis inverse from scratch (Gauss-Jordan with
 // partial pivoting) and refreshes basic variable values, containing drift
-// from repeated product-form updates.
+// from repeated product-form updates. The workspace is owned by the scratch
+// and reused across calls; row swaps exchange headers, not data.
 func (s *simplexState) refactorize() error {
-	m := s.p.m
-	a := make([][]float64, m)
+	p := s.p
+	m := p.m
+	w2 := 2 * m
+	if s.refac == nil {
+		s.refac = make([]float64, m*w2)
+		s.refacRows = make([][]float64, m)
+	}
+	a := s.refacRows
 	for i := 0; i < m; i++ {
-		a[i] = make([]float64, 2*m)
-		a[i][m+i] = 1
+		row := s.refac[i*w2 : i*w2+w2]
+		for k := range row {
+			row[k] = 0
+		}
+		row[m+i] = 1
+		a[i] = row
 	}
 	for r, j := range s.basis {
-		for _, e := range s.column(j) {
-			a[e.row][r] = e.coef
+		if j < p.n {
+			for k := p.colStart[j]; k < p.colStart[j+1]; k++ {
+				a[p.colRow[k]][r] = p.colVal[k]
+			}
+		} else {
+			a[j-p.n][r] = s.artCoef[j-p.n]
 		}
 	}
 	for col := 0; col < m; col++ {
-		p := col
+		piv := col
 		for i := col + 1; i < m; i++ {
-			if math.Abs(a[i][col]) > math.Abs(a[p][col]) {
-				p = i
+			if math.Abs(a[i][col]) > math.Abs(a[piv][col]) {
+				piv = i
 			}
 		}
-		if math.Abs(a[p][col]) < 1e-12 {
+		if math.Abs(a[piv][col]) < 1e-12 {
 			return errSingularBasis
 		}
-		a[col], a[p] = a[p], a[col]
+		a[col], a[piv] = a[piv], a[col]
 		inv := 1 / a[col][col]
-		for k := col; k < 2*m; k++ {
+		for k := col; k < w2; k++ {
 			a[col][k] *= inv
 		}
 		for i := 0; i < m; i++ {
@@ -516,29 +784,38 @@ func (s *simplexState) refactorize() error {
 				continue
 			}
 			f := a[i][col]
-			for k := col; k < 2*m; k++ {
+			for k := col; k < w2; k++ {
 				a[i][k] -= f * a[col][k]
 			}
 		}
 	}
 	for i := 0; i < m; i++ {
-		copy(s.binv[i], a[i][m:])
+		copy(s.binv[i*m:i*m+m], a[i][m:])
 	}
 	// Refresh basic values: xB = Binv·(b − N·xN).
-	resid := make([]float64, m)
-	copy(resid, s.p.b)
+	resid := s.rbuf
+	copy(resid, p.b)
 	for j := 0; j < s.nTotal; j++ {
-		if s.status[j] == inBasis || s.x[j] == 0 {
+		if s.status[j] == inBasis {
 			continue
 		}
-		for _, e := range s.column(j) {
-			resid[e.row] -= e.coef * s.x[j]
+		xj := s.x[j]
+		if xj == 0 {
+			continue
+		}
+		if j < p.n {
+			for k := p.colStart[j]; k < p.colStart[j+1]; k++ {
+				resid[p.colRow[k]] -= p.colVal[k] * xj
+			}
+		} else {
+			resid[j-p.n] -= s.artCoef[j-p.n] * xj
 		}
 	}
 	for i := 0; i < m; i++ {
+		row := s.binv[i*m : i*m+m]
 		v := 0.0
-		for k := 0; k < m; k++ {
-			v += s.binv[i][k] * resid[k]
+		for k, rv := range resid {
+			v += row[k] * rv
 		}
 		s.x[s.basis[i]] = v
 	}

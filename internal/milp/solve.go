@@ -79,6 +79,11 @@ type Options struct {
 	// With Workers > 1 the callback is invoked concurrently and must be safe
 	// for concurrent use (pure functions of their input are).
 	Heuristic func(relaxation []float64) []float64
+	// DisableWarmStart forces every branch-and-bound node LP onto the cold
+	// primal path instead of dual-simplex re-solving from the parent basis.
+	// Warm restarts never change results — this switch exists for bisection
+	// and for measuring their speedup, not for correctness workarounds.
+	DisableWarmStart bool
 }
 
 // effectiveWorkers resolves Workers to a concrete worker count.
@@ -97,6 +102,7 @@ type Solution struct {
 	Values    []float64 // one entry per model variable
 	Nodes     int       // branch-and-bound nodes explored
 	Workers   int       // branch-and-bound workers used by the search
+	LP        LPStats   // LP-kernel telemetry summed over all relaxations
 	Runtime   time.Duration
 }
 
@@ -113,6 +119,7 @@ type bbNode struct {
 	depth     int
 	seq       uint64 // creation order, for deterministic tie-breaking
 	overrides []boundOverride
+	warm      *basisState // parent's optimal basis (nil: solve cold)
 }
 
 type boundOverride struct {
@@ -166,6 +173,9 @@ type search struct {
 	incumbent []float64
 	incObj    float64
 
+	scratch *simplexState // serial driver's (and the root solve's) LP scratch
+	lp      LPStats       // folded worker telemetry; finish() adds s.scratch's
+
 	h   *nodeHeap
 	seq uint64
 
@@ -218,6 +228,25 @@ func (s *search) pickBound(a, b float64) float64 {
 	return math.Min(a, b)
 }
 
+// solveNodeLP solves one node's relaxation on the given scratch,
+// warm-starting from the parent basis unless the kill switch is set or the
+// node carries no snapshot.
+func (s *search) solveNodeLP(sc *simplexState, node *bbNode, lb, ub []float64) (lpStatus, []float64, error) {
+	if s.opts.DisableWarmStart {
+		return sc.solve(lb, ub, 0, s.deadline)
+	}
+	return sc.solveFrom(node.warm, lb, ub, 0, s.deadline)
+}
+
+// nodeSnapshot captures the scratch's basis for the node's children, or nil
+// when warm starts are disabled or the basis cannot seed one.
+func (s *search) nodeSnapshot(sc *simplexState) *basisState {
+	if s.opts.DisableWarmStart {
+		return nil
+	}
+	return sc.snapshot()
+}
+
 // Solve optimizes the model. Pure LPs (no integer variables) are solved with
 // a single simplex call; otherwise best-bound branch-and-bound runs until the
 // gap, time, or node limit is met. With Options.Workers > 1 the tree search
@@ -257,23 +286,25 @@ func Solve(model *Model, opts Options) (*Solution, error) {
 		s.incObj = model.ObjectiveValue(s.incumbent)
 	}
 
-	// Root relaxation.
-	st, x, err := solveLPDeadline(p, p.lb, p.ub, 0, deadline)
+	// Root relaxation, solved on the search's own scratch so the serial
+	// driver keeps reusing its basis memory.
+	s.scratch = newScratch(p)
+	st, x, err := s.scratch.solve(p.lb, p.ub, 0, deadline)
 	if err != nil {
 		return nil, err
 	}
 	switch st {
 	case lpInfeasible:
-		return &Solution{Status: StatusInfeasible, Nodes: 1, Workers: workers, Runtime: time.Since(start)}, nil
+		return &Solution{Status: StatusInfeasible, Nodes: 1, Workers: workers, LP: s.scratch.stats, Runtime: time.Since(start)}, nil
 	case lpUnbounded:
-		return &Solution{Status: StatusUnbounded, Nodes: 1, Workers: workers, Runtime: time.Since(start)}, nil
+		return &Solution{Status: StatusUnbounded, Nodes: 1, Workers: workers, LP: s.scratch.stats, Runtime: time.Since(start)}, nil
 	case lpIterLimit:
 		// Root aborted (deadline or iteration cap): report the seed
 		// incumbent if one was provided, else no solution.
 		if s.incumbent != nil {
-			return &Solution{Status: StatusFeasible, Objective: s.incObj, Values: s.incumbent, Nodes: 1, Workers: workers, Runtime: time.Since(start)}, nil
+			return &Solution{Status: StatusFeasible, Objective: s.incObj, Values: s.incumbent, Nodes: 1, Workers: workers, LP: s.scratch.stats, Runtime: time.Since(start)}, nil
 		}
-		return &Solution{Status: StatusNoSolution, Nodes: 1, Workers: workers, Runtime: time.Since(start)}, nil
+		return &Solution{Status: StatusNoSolution, Nodes: 1, Workers: workers, LP: s.scratch.stats, Runtime: time.Since(start)}, nil
 	}
 	rootObj := model.ObjectiveValue(x[:len(model.Vars)])
 
@@ -288,9 +319,11 @@ func Solve(model *Model, opts Options) (*Solution, error) {
 			Values:    vals,
 			Nodes:     1,
 			Workers:   workers,
+			LP:        s.scratch.stats,
 			Runtime:   time.Since(start),
 		}, nil
 	}
+	rootSnap := s.nodeSnapshot(s.scratch)
 
 	// Heuristics on the root for a strong starting incumbent: plain rounding,
 	// then an LP dive that fixes fractional integers one at a time. A good
@@ -299,12 +332,12 @@ func Solve(model *Model, opts Options) (*Solution, error) {
 	if opts.Heuristic != nil {
 		s.consider(opts.Heuristic(x[:len(model.Vars)]))
 	} else {
-		s.consider(diveFrom(model, p, p.lb, p.ub, x, deadline))
+		s.consider(diveFrom(model, p, p.lb, p.ub, x, deadline, !opts.DisableWarmStart, &s.scratch.stats))
 	}
 
 	s.h = &nodeHeap{max: maximize, det: workers > 1 && opts.Deterministic}
 	heap.Init(s.h)
-	s.pushNode(&bbNode{bound: rootObj})
+	s.pushNode(&bbNode{bound: rootObj, warm: rootSnap})
 	s.nodes = 1
 	s.bestBound = rootObj
 
@@ -352,7 +385,7 @@ func (s *search) runSerial() {
 			}
 		}
 		s.nodes++
-		st, x, err := solveLPDeadline(s.p, lbBuf, ubBuf, 0, s.deadline)
+		st, x, err := s.solveNodeLP(s.scratch, node, lbBuf, ubBuf)
 		if err != nil || st == lpIterLimit {
 			continue // treat numerical trouble as a pruned node
 		}
@@ -377,22 +410,24 @@ func (s *search) runSerial() {
 			}
 			continue
 		}
+		snap := s.nodeSnapshot(s.scratch)
 		// Periodically derive an incumbent from this node's relaxation; cheap
 		// relative to the search it prunes.
 		if s.opts.Heuristic != nil && s.nodes%16 == 0 {
 			s.consider(s.opts.Heuristic(x[:len(s.model.Vars)]))
 		} else if s.opts.Heuristic == nil && s.nodes%64 == 0 {
-			s.consider(diveFrom(s.model, s.p, lbBuf, ubBuf, x, s.deadline))
+			s.consider(diveFrom(s.model, s.p, lbBuf, ubBuf, x, s.deadline, !s.opts.DisableWarmStart, &s.scratch.stats))
 		}
-		// Branch on the most fractional integer variable.
+		// Branch on the most fractional integer variable. Both children share
+		// the parent's basis snapshot — it is immutable once taken.
 		bv := mostFractional(s.model, x)
 		v := x[bv]
 		down := append(append([]boundOverride(nil), node.overrides...),
 			boundOverride{col: bv, isUB: true, value: math.Floor(v + intTol)})
 		up := append(append([]boundOverride(nil), node.overrides...),
 			boundOverride{col: bv, isUB: false, value: math.Ceil(v - intTol)})
-		s.pushNode(&bbNode{bound: obj, depth: node.depth + 1, overrides: down})
-		s.pushNode(&bbNode{bound: obj, depth: node.depth + 1, overrides: up})
+		s.pushNode(&bbNode{bound: obj, depth: node.depth + 1, overrides: down, warm: snap})
+		s.pushNode(&bbNode{bound: obj, depth: node.depth + 1, overrides: up, warm: snap})
 	}
 }
 
@@ -427,7 +462,10 @@ func (s *search) finish() *Solution {
 		s.bestBound = s.pickBound(s.h.nodes[0].bound, s.incObj)
 	}
 
-	sol := &Solution{Nodes: s.nodes, Bound: s.bestBound, Workers: s.workers, Runtime: time.Since(s.start)}
+	if s.scratch != nil { // parallel drivers folded worker scratches already
+		s.lp.add(&s.scratch.stats)
+	}
+	sol := &Solution{Nodes: s.nodes, Bound: s.bestBound, Workers: s.workers, LP: s.lp, Runtime: time.Since(s.start)}
 	if s.incumbent == nil {
 		if s.h.Len() == 0 {
 			sol.Status = StatusInfeasible
@@ -492,11 +530,20 @@ func roundIntegral(m *Model, x []float64) []float64 {
 // already-integral integer variable plus the most fractional one, so it
 // converges in a handful of solves even on large models. It returns a
 // feasible integral point or nil.
-func diveFrom(m *Model, p *lp, lb0, ub0 []float64, fromX []float64, deadline time.Time) []float64 {
+//
+// The dive solves on its own scratch (the caller's relaxation point usually
+// aliases the caller's scratch and must survive the dive) and, when useWarm
+// is set, chains each step's basis into the next step's dual re-solve — each
+// step only tightens bounds, the textbook warm-restart case. Its LP telemetry
+// is folded into stats, which must be private to the calling goroutine.
+func diveFrom(m *Model, p *lp, lb0, ub0 []float64, fromX []float64, deadline time.Time, useWarm bool, stats *LPStats) []float64 {
 	const maxSteps = 12
 	lb := append([]float64(nil), lb0...)
 	ub := append([]float64(nil), ub0...)
+	sc := newScratch(p)
+	defer func() { stats.add(&sc.stats) }()
 	x := fromX
+	var warm *basisState
 	for depth := 0; depth < maxSteps; depth++ {
 		fr := mostFractional(m, x)
 		if fr < 0 {
@@ -518,9 +565,12 @@ func diveFrom(m *Model, p *lp, lb0, ub0 []float64, fromX []float64, deadline tim
 		}
 		v := clampVal(math.Round(x[fr]), lb[fr], ub[fr])
 		lb[fr], ub[fr] = v, v
-		st, nx, err := solveLPDeadline(p, lb, ub, 0, deadline)
+		st, nx, err := sc.solveFrom(warm, lb, ub, 0, deadline)
 		if err != nil || st != lpOptimal {
 			return nil
+		}
+		if useWarm {
+			warm = sc.snapshot()
 		}
 		x = nx
 	}

@@ -1,0 +1,233 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomBoxLP builds a random all-continuous LP with finite bounds: the shape
+// of a branch-and-bound node relaxation. Roughly a third of the instances
+// come out infeasible, which the warm path must also classify correctly.
+func randomBoxLP(r *rand.Rand) *Model {
+	m := NewModel(Minimize)
+	if r.Intn(2) == 0 {
+		m.Sense = Maximize
+	}
+	nv := 3 + r.Intn(10)
+	for j := 0; j < nv; j++ {
+		lb := -5 + r.Float64()*5
+		ub := lb + r.Float64()*8
+		m.AddVar("x", Continuous, lb, ub, math.Round((r.Float64()*10-5)*4)/4)
+	}
+	nc := 1 + r.Intn(8)
+	for i := 0; i < nc; i++ {
+		var terms []Term
+		for j := 0; j < nv; j++ {
+			if r.Intn(3) == 0 {
+				terms = append(terms, Term{Var: VarID(j), Coef: math.Round((r.Float64()*6-3)*2) / 2})
+			}
+		}
+		if len(terms) == 0 {
+			terms = append(terms, Term{Var: VarID(r.Intn(nv)), Coef: 1})
+		}
+		op := Op(r.Intn(3))
+		m.AddConstraint("c", terms, op, math.Round((r.Float64()*20-10)*2)/2)
+	}
+	return m
+}
+
+// tightenLikeBB narrows one variable's box the way branching does and returns
+// whether the box is still non-empty.
+func tightenLikeBB(r *rand.Rand, lb, ub []float64, nvars int) bool {
+	j := r.Intn(nvars)
+	mid := lb[j] + (ub[j]-lb[j])*(0.25+0.5*r.Float64())
+	if r.Intn(2) == 0 {
+		ub[j] = mid
+	} else {
+		lb[j] = mid
+	}
+	return lb[j] <= ub[j]
+}
+
+// TestWarmStartMatchesColdProperty is the snapshot/restore property test: on
+// ≥200 seeded random LPs, re-solving a tightened box from the parent basis
+// must classify the node exactly like a cold solve and, when optimal, reach
+// the same objective.
+func TestWarmStartMatchesColdProperty(t *testing.T) {
+	const seeds = 400
+	optimal, warmHits := 0, 0
+	for seed := int64(0); seed < seeds; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		model := randomBoxLP(r)
+		if err := model.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		p := newLP(model)
+		parent := newScratch(p)
+		st, _, err := parent.solve(p.lb, p.ub, 0, time.Time{})
+		if err != nil {
+			t.Fatalf("seed %d root: %v", seed, err)
+		}
+		if st != lpOptimal {
+			continue // infeasible root: nothing to snapshot
+		}
+		snap := parent.snapshot()
+
+		lb := append([]float64(nil), p.lb...)
+		ub := append([]float64(nil), p.ub...)
+		// Chain a few tightenings from the same snapshot plus re-snapshots,
+		// like a dive down one branch-and-bound path.
+		warm := snap
+		warmSc := newScratch(p)
+		for step := 0; step < 4; step++ {
+			if !tightenLikeBB(r, lb, ub, len(model.Vars)) {
+				break
+			}
+			coldSt, coldX, err := solveLP(p, lb, ub, 0)
+			if err != nil {
+				t.Fatalf("seed %d step %d cold: %v", seed, step, err)
+			}
+			warmSt, warmX, err := warmSc.solveFrom(warm, lb, ub, 0, time.Time{})
+			if err != nil {
+				t.Fatalf("seed %d step %d warm: %v", seed, step, err)
+			}
+			if warmSt != coldSt {
+				t.Fatalf("seed %d step %d: warm status %v != cold %v", seed, step, warmSt, coldSt)
+			}
+			if coldSt != lpOptimal {
+				break
+			}
+			optimal++
+			co := model.ObjectiveValue(coldX[:len(model.Vars)])
+			wo := model.ObjectiveValue(warmX[:len(model.Vars)])
+			if diff := math.Abs(co - wo); diff > 1e-6*math.Max(1, math.Abs(co)) {
+				t.Fatalf("seed %d step %d: warm objective %.9f != cold %.9f", seed, step, wo, co)
+			}
+			warm = warmSc.snapshot()
+		}
+		warmHits += warmSc.stats.WarmHits
+	}
+	if optimal < 200 {
+		t.Fatalf("only %d optimal re-solves exercised; want ≥200 (generator drifted?)", optimal)
+	}
+	if warmHits == 0 {
+		t.Fatal("no warm restart ever succeeded; dual path is dead")
+	}
+	t.Logf("optimal re-solves=%d warm hits=%d", optimal, warmHits)
+}
+
+// TestCorruptSnapshotFallsBackCold corrupts snapshots in every structural way
+// restore checks for and requires (a) rejection, (b) a clean cold-path result
+// identical to a from-scratch solve — never a wrong optimum.
+func TestCorruptSnapshotFallsBackCold(t *testing.T) {
+	// Scan seeds for an instance whose root solves optimal with a usable
+	// snapshot; the corruption cases below all start from it.
+	var (
+		model  *Model
+		p      *lp
+		parent *simplexState
+		want   float64
+	)
+	for seed := int64(0); ; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		model = randomBoxLP(r)
+		p = newLP(model)
+		parent = newScratch(p)
+		st, x, err := parent.solve(p.lb, p.ub, 0, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// m ≥ 2 so the duplicate-column corruption below is not a no-op.
+		if st == lpOptimal && p.m >= 2 && parent.snapshot() != nil {
+			want = model.ObjectiveValue(x[:len(model.Vars)])
+			break
+		}
+		if seed > 100 {
+			t.Fatal("no optimal random instance in 100 seeds")
+		}
+	}
+
+	corruptions := map[string]func(*basisState){
+		"duplicate-basis-column": func(b *basisState) { b.basis[0] = b.basis[len(b.basis)-1] },
+		"out-of-range-column":    func(b *basisState) { b.basis[0] = int32(p.n) },
+		"negative-column":        func(b *basisState) { b.basis[0] = -1 },
+		"truncated-status":       func(b *basisState) { b.status = b.status[:len(b.status)-1] },
+		"truncated-basis":        func(b *basisState) { b.basis = b.basis[:len(b.basis)-1] },
+		"stray-inbasis-status": func(b *basisState) {
+			for j, st := range b.status {
+				if st != inBasis {
+					b.status[j] = inBasis
+					return
+				}
+			}
+		},
+		"nonbasic-marked-out": func(b *basisState) { b.status[b.basis[0]] = atLower },
+	}
+	for name, corrupt := range corruptions {
+		snap := parent.snapshot()
+		if snap == nil {
+			t.Fatal("snapshot unexpectedly nil")
+		}
+		corrupt(snap)
+		sc := newScratch(p)
+		st, x, err := sc.solveFrom(snap, p.lb, p.ub, 0, time.Time{})
+		if err != nil || st != lpOptimal {
+			t.Fatalf("%s: st=%v err=%v", name, st, err)
+		}
+		if got := model.ObjectiveValue(x[:len(model.Vars)]); math.Abs(got-want) > 1e-6 {
+			t.Errorf("%s: objective %.9f != cold %.9f", name, got, want)
+		}
+		if sc.stats.WarmFallbacks != 1 || sc.stats.WarmHits != 0 {
+			t.Errorf("%s: stats %+v; want exactly one fallback, no hits", name, sc.stats)
+		}
+	}
+
+	// A stale snapshot — valid shape, but a resting bound has since moved to
+	// infinity — must be rejected by restore and still classified exactly
+	// like a cold solve under the widened box.
+	snap := parent.snapshot()
+	ub := append([]float64(nil), p.ub...)
+	stale := false
+	for j, st := range snap.status {
+		if st == atUpper {
+			ub[j] = math.Inf(1)
+			stale = true
+		}
+	}
+	if stale {
+		coldSt, coldX, err := solveLP(p, p.lb, ub, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := newScratch(p)
+		warmSt, warmX, err := sc.solveFrom(snap, p.lb, ub, 0, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warmSt != coldSt {
+			t.Fatalf("stale-bound snapshot: warm status %v != cold %v", warmSt, coldSt)
+		}
+		if sc.stats.WarmHits != 0 {
+			t.Errorf("stale-bound snapshot restored; want fallback (stats %+v)", sc.stats)
+		}
+		if coldSt == lpOptimal {
+			co := model.ObjectiveValue(coldX[:len(model.Vars)])
+			wo := model.ObjectiveValue(warmX[:len(model.Vars)])
+			if math.Abs(co-wo) > 1e-6*math.Max(1, math.Abs(co)) {
+				t.Errorf("stale-bound snapshot: objective %.9f != cold %.9f", wo, co)
+			}
+		}
+	}
+
+	// Nil snapshot is not a fallback, just a cold node (the root, or a parent
+	// whose basis could not seed a restart).
+	sc2 := newScratch(p)
+	if _, _, err := sc2.solveFrom(nil, p.lb, p.ub, 0, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if sc2.stats.WarmFallbacks != 0 || sc2.stats.ColdStarts != 1 {
+		t.Errorf("nil snapshot stats %+v; want pure cold start", sc2.stats)
+	}
+}

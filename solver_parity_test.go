@@ -97,6 +97,67 @@ func TestSolverParityAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestSolverParityWarmVsCold flips the warm-start kill switch across every
+// driver (serial, parallel-async, parallel-deterministic) on exact solves:
+// dual-simplex re-solves from parent bases must change solve speed only,
+// never the objective. The stats assertions keep the switch honest — the warm
+// runs must actually warm-start and the cold runs must not.
+func TestSolverParityWarmVsCold(t *testing.T) {
+	comp := batchedModel(t, 24, 2)
+	var want float64
+	for i, opts := range []milp.Options{
+		{Workers: 1},
+		{Workers: 1, DisableWarmStart: true},
+		{Workers: 4},
+		{Workers: 4, DisableWarmStart: true},
+		{Workers: 4, Deterministic: true},
+		{Workers: 4, Deterministic: true, DisableWarmStart: true},
+	} {
+		opts.Heuristic = comp.GreedyRound
+		sol, err := milp.Solve(comp.Model, opts)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if sol.Status != milp.StatusOptimal {
+			t.Fatalf("case %d: status %v", i, sol.Status)
+		}
+		if i == 0 {
+			want = sol.Objective
+		} else if diff := sol.Objective - want; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("case %d (workers=%d det=%v cold=%v): objective %.9f != %.9f",
+				i, opts.Workers, opts.Deterministic, opts.DisableWarmStart, sol.Objective, want)
+		}
+		if opts.DisableWarmStart {
+			if sol.LP.WarmHits != 0 || sol.LP.WarmFallbacks != 0 {
+				t.Errorf("case %d: kill switch left warm activity %+v", i, sol.LP)
+			}
+		} else if sol.Nodes > 1 && sol.LP.WarmHits == 0 {
+			t.Errorf("case %d: %d nodes explored but no warm hits %+v", i, sol.Nodes, sol.LP)
+		}
+	}
+}
+
+// TestWarmStartHitRate pins the acceptance bar: on a Fig 12-style batched
+// exact solve, >80% of branch-and-bound node LPs must re-solve warm from
+// their parent basis (only the root is inherently cold).
+func TestWarmStartHitRate(t *testing.T) {
+	for _, jobs := range []int{16, 24} {
+		comp := batchedModel(t, jobs, 2)
+		sol, err := milp.Solve(comp.Model, milp.Options{Workers: 1, Heuristic: comp.GreedyRound})
+		if err != nil {
+			t.Fatalf("batch%d: %v", jobs, err)
+		}
+		if sol.Nodes < 10 {
+			t.Fatalf("batch%d explored only %d nodes; instance too easy to measure hit rate", jobs, sol.Nodes)
+		}
+		rate := float64(sol.LP.WarmHits) / float64(sol.Nodes)
+		t.Logf("batch%d: nodes=%d LP=%+v hit rate=%.1f%%", jobs, sol.Nodes, sol.LP, 100*rate)
+		if rate <= 0.8 {
+			t.Errorf("batch%d: warm-start hit rate %.1f%% ≤ 80%%", jobs, 100*rate)
+		}
+	}
+}
+
 // BenchmarkBatchedSolveSerial / ...Parallel measure the same Fig 12-style
 // aggregate solve to a 10% gap with one worker vs one per CPU. On multi-core
 // hosts the parallel driver reaches the gap in less wall-clock time; on a
