@@ -12,20 +12,33 @@
 //	POST /v1/jobs         submit a job        {id, class, type, k, ...}
 //	POST /v1/cycle        run one cycle       {now, free:[ids]} → decisions
 //	POST /v1/completions  signal completion   {job_id, now}
-//	GET  /v1/status       daemon state
+//	GET  /v1/status       daemon state incl. cumulative solver telemetry
+//	GET  /v1/trace        Chrome trace-event snapshot of the trace ring
+//	GET  /metrics         Prometheus text metrics
+//
+// With -debug-addr set, net/http/pprof is served on that address (and only
+// there — the main listener never exposes it). The daemon shuts down
+// gracefully on SIGINT/SIGTERM: in-flight cycle requests complete before
+// the process exits. See docs/OBSERVABILITY.md.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers on DefaultServeMux, served only on -debug-addr
+	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"tetrisched/internal/cluster"
 	"tetrisched/internal/core"
 	"tetrisched/internal/httpapi"
+	"tetrisched/internal/trace"
 )
 
 func main() {
@@ -43,6 +56,9 @@ func main() {
 		limit     = flag.Duration("solver-limit", 300*time.Millisecond, "per-solve MILP time limit")
 		workers   = flag.Int("solver-workers", 0, "branch-and-bound workers per MILP solve (0 = one per CPU)")
 		gap       = flag.Float64("gap", 0.1, "relative MIP gap")
+		traceRing = flag.Int("trace-ring", 16384, "trace ring size in events served by /v1/trace (0 disables tracing)")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = pprof disabled)")
+		drain     = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	)
 	flag.Parse()
 
@@ -62,6 +78,10 @@ func main() {
 	}
 	c := b.Build()
 
+	var tr *trace.Tracer
+	if *traceRing > 0 {
+		tr = trace.New(*traceRing)
+	}
 	sched := core.New(c, core.Config{
 		CyclePeriod:      *cycle,
 		PlanQuantum:      *quantum,
@@ -72,11 +92,45 @@ func main() {
 		SolverTimeLimit:  *limit,
 		SolverWorkers:    workerCount(*workers),
 		Gap:              *gap,
+		Tracer:           tr,
 	})
-	srv := httpapi.NewServer(sched, c.N())
+	api := httpapi.NewServer(sched, c.N()).SetTracer(tr)
+	srv := &http.Server{Addr: *listen, Handler: api.Handler()}
+
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("tetrischedd: pprof on %s/debug/pprof/", *debugAddr)
+			// DefaultServeMux carries the pprof handlers; the main listener
+			// uses its own mux and never exposes them.
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("tetrischedd: pprof listener: %v", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("tetrischedd: %s on %d nodes (%d racks, %d gpu), listening on %s",
 		sched.Name(), c.N(), *racks, *gpuRacks, *listen)
-	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("tetrischedd: %v", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills hard
+		log.Printf("tetrischedd: signal received, draining in-flight requests (max %v)", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("tetrischedd: shutdown: %v", err)
+		}
+		st := sched.Stats
+		log.Printf("tetrischedd: bye (solves=%d bb-nodes=%d warm-hit=%.0f%%)",
+			st.Solves, st.Nodes, 100*st.WarmHitRate())
+	}
 }
 
 // workerCount resolves the -solver-workers flag: 0 means one worker per CPU.

@@ -22,6 +22,7 @@ import (
 	"tetrisched/internal/metrics"
 	"tetrisched/internal/rayon"
 	"tetrisched/internal/sim"
+	"tetrisched/internal/trace"
 	"tetrisched/internal/viz"
 	"tetrisched/internal/workload"
 )
@@ -46,8 +47,26 @@ func main() {
 		gantt       = flag.Bool("gantt", false, "render the space-time schedule grid")
 		saveTrace   = flag.String("save-trace", "", "write the generated workload to a JSON trace file")
 		loadTrace   = flag.String("load-trace", "", "replay a JSON trace file instead of generating")
+		execTrace   = flag.String("trace", "", "stream an execution trace to this file: .jsonl = JSON Lines, anything else = Chrome trace-event JSON (Perfetto)")
 	)
 	flag.Parse()
+
+	var tracer *trace.Tracer
+	var traceFile *os.File
+	if *execTrace != "" {
+		f, err := os.Create(*execTrace)
+		if err != nil {
+			fatal("trace: %v", err)
+		}
+		traceFile = f
+		var sink trace.Sink
+		if strings.HasSuffix(*execTrace, ".jsonl") {
+			sink = trace.NewJSONLSink(f)
+		} else {
+			sink = trace.NewChromeSink(f)
+		}
+		tracer = trace.New(1024).SetSink(sink)
+	}
 
 	var c *cluster.Cluster
 	switch strings.ToLower(*clusterName) {
@@ -108,7 +127,7 @@ func main() {
 	plan := rayon.NewPlan(c.N(), *cycle)
 	var sched sim.Scheduler
 	base := core.Config{CyclePeriod: *cycle, PlanAhead: *planAhead, PlanQuantum: *planQuantum,
-		SolverTimeLimit: *limit, SolverWorkers: solverWorkers(*workers)}
+		SolverTimeLimit: *limit, SolverWorkers: solverWorkers(*workers), Tracer: tracer}
 	switch strings.ToLower(*schedName) {
 	case "tetrisched", "full":
 		sched = core.New(c, base)
@@ -130,9 +149,19 @@ func main() {
 	start := time.Now()
 	res, err := sim.Run(sim.Config{
 		Cluster: c, Jobs: jobsList, Scheduler: sched, Plan: plan, CyclePeriod: *cycle,
+		Tracer: tracer,
 	})
 	if err != nil {
 		fatal("simulation: %v", err)
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fatal("trace: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal("trace: %v", err)
+		}
+		fmt.Printf("execution trace written to %s\n", *execTrace)
 	}
 	sum := metrics.Summarize(sched.Name(), res, c.N())
 	fmt.Printf("cluster=%s workload=%s jobs=%d err=%+.0f%% plan-ahead=%ds\n",

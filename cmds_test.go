@@ -1,10 +1,18 @@
 package tetrisched
 
 import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"tetrisched/internal/trace"
 )
 
 // TestCommandLineTools smoke-tests each CLI end to end: build the binary,
@@ -63,4 +71,145 @@ func TestCommandLineTools(t *testing.T) {
 			t.Errorf("experiments -table 1 malformed:\n%s", out)
 		}
 	})
+
+	// tetrisim -trace round-trip: the Chrome export must be well-formed
+	// trace-event JSON with the scheduler's phase spans, and the JSONL mode
+	// must be valid line-by-line.
+	t.Run("tetrisim-exec-trace", func(t *testing.T) {
+		chromeOut := filepath.Join(bin, "exec.json")
+		out := run("tetrisim", "-cluster", "rc80", "-workload", "gshet", "-jobs", "12",
+			"-trace", chromeOut)
+		if !strings.Contains(out, "execution trace written") {
+			t.Errorf("tetrisim -trace output missing confirmation:\n%s", out)
+		}
+		data, err := os.ReadFile(chromeOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := trace.DecodeChrome(data)
+		if err != nil {
+			t.Fatalf("-trace emitted malformed Chrome trace JSON: %v", err)
+		}
+		seen := map[string]bool{}
+		tracks := map[string]bool{}
+		for _, e := range doc.TraceEvents {
+			seen[e.Name] = true
+			if e.Ph == "M" && e.Name == "thread_name" {
+				tracks[e.Args["name"].(string)] = true
+			}
+		}
+		for _, want := range []string{"cycle", "generate", "compile", "solve", "launch", "submit"} {
+			if !seen[want] {
+				t.Errorf("chrome trace missing %q events (have %v)", want, seen)
+			}
+		}
+		for _, want := range []string{"cycle", "strl", "solve", "place", "driver", "job"} {
+			if !tracks[want] {
+				t.Errorf("chrome trace missing %q track (have %v)", want, tracks)
+			}
+		}
+
+		jsonlOut := filepath.Join(bin, "exec.jsonl")
+		run("tetrisim", "-cluster", "rc80", "-workload", "gshet", "-jobs", "12",
+			"-trace", jsonlOut)
+		raw, err := os.ReadFile(jsonlOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+		if len(lines) < 20 {
+			t.Fatalf("jsonl trace suspiciously short: %d lines", len(lines))
+		}
+		for i, ln := range lines {
+			var obj struct {
+				Seq  *uint64 `json:"seq"`
+				Kind string  `json:"kind"`
+				Name string  `json:"name"`
+			}
+			if err := json.Unmarshal([]byte(ln), &obj); err != nil {
+				t.Fatalf("jsonl line %d malformed: %v\n%s", i, err, ln)
+			}
+			if obj.Seq == nil || *obj.Seq != uint64(i) {
+				t.Fatalf("jsonl line %d has seq %v, want %d (stream must be gapless)", i, obj.Seq, i)
+			}
+		}
+	})
+
+	// tetrischedd: pprof served only on -debug-addr, and SIGTERM triggers a
+	// clean graceful shutdown (exit status 0).
+	t.Run("tetrischedd-daemon", func(t *testing.T) {
+		mainAddr, debugAddr := freeAddr(t), freeAddr(t)
+		cmd := exec.Command(build("tetrischedd"),
+			"-listen", mainAddr, "-debug-addr", debugAddr, "-nodes", "8", "-racks", "2")
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer cmd.Process.Kill()
+
+		waitHTTP(t, "http://"+mainAddr+"/v1/status")
+		if code := getStatus(t, "http://"+debugAddr+"/debug/pprof/"); code != http.StatusOK {
+			t.Errorf("pprof on debug addr = %d, want 200", code)
+		}
+		if code := getStatus(t, "http://"+mainAddr+"/debug/pprof/"); code == http.StatusOK {
+			t.Errorf("pprof reachable on the main listener")
+		}
+		if code := getStatus(t, "http://"+mainAddr+"/metrics"); code != http.StatusOK {
+			t.Errorf("daemon /metrics = %d, want 200", code)
+		}
+		if code := getStatus(t, "http://"+mainAddr+"/v1/trace"); code != http.StatusOK {
+			t.Errorf("daemon /v1/trace = %d, want 200", code)
+		}
+
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("daemon did not exit cleanly on SIGTERM: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Error("daemon did not shut down within 15s of SIGTERM")
+		}
+	})
+}
+
+// freeAddr reserves a loopback port for a subprocess listener.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// waitHTTP polls url until it answers (daemon startup).
+func waitHTTP(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("server at %s never came up", url)
+}
+
+// getStatus fetches url and returns the HTTP status code (0 on error).
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0
+	}
+	resp.Body.Close()
+	return resp.StatusCode
 }

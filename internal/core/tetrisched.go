@@ -24,6 +24,7 @@ import (
 	"tetrisched/internal/sim"
 	"tetrisched/internal/strl"
 	"tetrisched/internal/strlgen"
+	"tetrisched/internal/trace"
 	"tetrisched/internal/workload"
 )
 
@@ -69,6 +70,11 @@ type Config struct {
 	DisableWarmStart bool
 	// BEDecay overrides the best-effort value decay horizon in seconds.
 	BEDecay int64
+	// Tracer, when non-nil, records per-cycle spans (generate, compile,
+	// solve, extract) and per-decision events into the structured tracing
+	// subsystem (internal/trace, docs/OBSERVABILITY.md). Nil disables
+	// tracing at the cost of one branch per hook point.
+	Tracer *trace.Tracer
 	// EnablePreemption activates the paper's future-work extension (§7.2):
 	// when an accepted SLO job is at its last feasible start slice and the
 	// MILP could not place it, running best-effort jobs may be killed
@@ -127,12 +133,34 @@ type SolveStats struct {
 	WarmLPs    int           // node LPs re-solved dual-feasibly from a parent basis
 	ColdLPs    int           // LPs solved from scratch (incl. warm fallbacks)
 	Runtime    time.Duration // cumulative solver wall-clock
+	MaxSolve   time.Duration // slowest single solve
+}
+
+// WarmHitRate returns the fraction of node LPs served warm from a parent
+// basis (0 when no LPs have run).
+func (st *SolveStats) WarmHitRate() float64 {
+	total := st.WarmLPs + st.ColdLPs
+	if total == 0 {
+		return 0
+	}
+	return float64(st.WarmLPs) / float64(total)
+}
+
+// MeanSolve returns the mean wall-clock per MILP solve.
+func (st *SolveStats) MeanSolve() time.Duration {
+	if st.Solves == 0 {
+		return 0
+	}
+	return st.Runtime / time.Duration(st.Solves)
 }
 
 // record folds one solve's telemetry into the running totals.
 func (st *SolveStats) record(sol *milp.Solution, warm bool, d time.Duration) {
 	st.Solves++
 	st.Runtime += d
+	if d > st.MaxSolve {
+		st.MaxSolve = d
+	}
 	if warm {
 		st.WarmStarts++
 	}
@@ -173,10 +201,15 @@ type Scheduler struct {
 	pending []*workload.Job
 	running map[int]*runInfo
 	lastJob map[int]planChoice
+	tr      *trace.Tracer
 
 	// Stats accumulates solver telemetry for the scalability analysis.
 	Stats SolveStats
 }
+
+// SolveStatsSnapshot returns a copy of the cumulative solver telemetry; the
+// daemon surfaces it via /v1/status and /metrics.
+func (s *Scheduler) SolveStatsSnapshot() SolveStats { return s.Stats }
 
 var _ sim.Scheduler = (*Scheduler)(nil)
 
@@ -195,6 +228,7 @@ func New(c *cluster.Cluster, cfg Config) *Scheduler {
 		rng:     randx.New(1), // fixed seed: runs stay deterministic
 		running: make(map[int]*runInfo),
 		lastJob: make(map[int]planChoice),
+		tr:      cfg.Tracer,
 	}
 }
 
@@ -270,21 +304,30 @@ func (s *Scheduler) Cycle(now int64, free *bitset.Set) sim.CycleResult {
 	if len(s.pending) == 0 {
 		return res
 	}
+	s.tr.SetVirtualTime(now)
+	cycleSpan := s.tr.Begin("cycle", "cycle")
 	// Generate STRL for every pending job; jobs with no remaining value are
 	// culled (counted as SLO misses).
 	ordered := s.orderedPending()
+	genSpan := s.tr.Begin("strl", "generate")
 	reqs := make([]*strlgen.Request, 0, len(ordered))
+	nOptions := 0
 	for _, j := range ordered {
 		req := s.gen.Generate(now, j)
 		if req == nil {
 			res.Dropped = append(res.Dropped, j)
 			s.removePending(j)
 			delete(s.lastJob, j.ID)
+			s.tr.Instant("place", "drop", trace.I("job", int64(j.ID)))
 			continue
 		}
+		nOptions += len(req.Options)
 		reqs = append(reqs, req)
 	}
+	genSpan.End(trace.I("jobs", int64(len(ordered))), trace.I("requests", int64(len(reqs))),
+		trace.I("options", int64(nOptions)), trace.I("dropped", int64(len(res.Dropped))))
 	if len(reqs) == 0 {
+		cycleSpan.End(trace.I("decisions", 0), trace.I("dropped", int64(len(res.Dropped))))
 		return res
 	}
 	if s.cfg.Greedy {
@@ -292,6 +335,10 @@ func (s *Scheduler) Cycle(now int64, free *bitset.Set) sim.CycleResult {
 	} else {
 		s.globalCycle(now, free, reqs, &res)
 	}
+	cycleSpan.End(trace.I("pending", int64(len(s.pending))),
+		trace.I("decisions", int64(len(res.Decisions))),
+		trace.I("preempted", int64(len(res.Preempted))),
+		trace.I("dropped", int64(len(res.Dropped))))
 	return res
 }
 
@@ -305,6 +352,7 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 		jobExprs[i] = r.Expr
 	}
 	rel := s.releaseSlices(now)
+	compSpan := s.tr.Begin("compile", "compile")
 	comp, err := compiler.Compile(jobExprs, compiler.Options{
 		Universe:  s.c.N(),
 		Horizon:   s.horizon(),
@@ -313,8 +361,11 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 	if err != nil {
 		// Should be impossible for generated expressions; fail safe by
 		// making no decisions this cycle.
+		compSpan.End(trace.S("error", err.Error()))
 		return
 	}
+	compSpan.End(trace.I("jobs", int64(len(reqs))), trace.I("vars", int64(len(comp.Model.Vars))),
+		trace.I("cons", int64(len(comp.Model.Cons))), trace.I("horizon", s.horizon()))
 	// Warm start: re-propose last cycle's deferred choices, shifted one
 	// slice toward the present (only valid when the quantum equals the
 	// cycle period).
@@ -351,6 +402,7 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 	for _, r := range reqs {
 		delete(s.lastJob, r.Job.ID)
 	}
+	solveSpan := s.tr.Begin("solve", "solve")
 	t0 := time.Now()
 	sol, err := milp.Solve(comp.Model, milp.Options{
 		Gap:              s.cfg.Gap,
@@ -364,14 +416,17 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 	elapsed := time.Since(t0)
 	res.SolverLatency += elapsed
 	s.Stats.record(sol, seed != nil, elapsed)
+	endSolveSpan(solveSpan, sol, err, seed != nil)
 	if err != nil || sol.Values == nil {
 		// Solver produced nothing inside its budget (possible under extreme
 		// backlog); fall back to greedy value-ordered packing so the cluster
 		// never sits idle with pending work.
+		s.tr.Instant("solve", "fallback", trace.I("jobs", int64(len(reqs))))
 		s.fallbackPack(now, free, reqs, res)
 		return
 	}
 
+	extractSpan := s.tr.Begin("extract", "extract")
 	working := free.Clone()
 	granted := make(map[int]bool)
 	for _, g := range comp.Decode(sol) {
@@ -383,6 +438,8 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 		granted[req.Job.ID] = true
 		if g.Start > 0 {
 			s.lastJob[req.Job.ID] = planChoice{key: opt.Key, slice: g.Start}
+			s.tr.Instant("place", "defer", trace.I("job", int64(req.Job.ID)),
+				trace.S("option", opt.Key), trace.I("start_slice", g.Start))
 			continue
 		}
 		nodes := s.pickNodes(comp, g, working, nil, 0)
@@ -391,9 +448,28 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 		}
 		s.launch(now, req.Job, nodes, opt, res)
 	}
+	extractSpan.End(trace.I("granted", int64(len(granted))),
+		trace.I("launched", int64(len(res.Decisions))))
 	if s.cfg.EnablePreemption {
 		s.preemptRescue(now, working, reqs, granted, res)
 	}
+}
+
+// endSolveSpan closes a solve span with the solution's telemetry payload.
+func endSolveSpan(sp trace.Span, sol *milp.Solution, err error, warmSeed bool) {
+	if err != nil || sol == nil {
+		msg := "no solution"
+		if err != nil {
+			msg = err.Error()
+		}
+		sp.End(trace.S("status", "error"), trace.S("error", msg), trace.B("warm_seed", warmSeed))
+		return
+	}
+	sp.End(trace.S("status", sol.Status.String()),
+		trace.F("objective", sol.Objective), trace.F("bound", sol.Bound),
+		trace.I("nodes", int64(sol.Nodes)), trace.I("lp_iters", sol.LP.Iterations),
+		trace.I("warm_lps", int64(sol.LP.WarmHits)), trace.I("cold_lps", int64(sol.LP.ColdStarts)),
+		trace.B("warm_seed", warmSeed))
 }
 
 // preemptRescue is the optional preemption extension: an accepted SLO job
@@ -465,6 +541,8 @@ func (s *Scheduler) preemptRescue(now int64, working *bitset.Set, reqs []*strlge
 			}
 			for _, v := range chosen {
 				res.Preempted = append(res.Preempted, v.job)
+				s.tr.Instant("place", "preempt", trace.I("victim", int64(v.job.ID)),
+					trace.I("rescued", int64(j.ID)))
 				delete(s.running, v.job.ID)
 				for _, n := range v.nodes {
 					working.Add(n)
@@ -492,6 +570,7 @@ func (s *Scheduler) greedyCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 	claims := newClaimSet()
 	working := free.Clone()
 	for _, req := range reqs {
+		compSpan := s.tr.Begin("compile", "compile")
 		comp, err := compiler.Compile([]strl.Expr{req.Expr}, compiler.Options{
 			Universe:  s.c.N(),
 			Horizon:   s.horizon(),
@@ -499,8 +578,12 @@ func (s *Scheduler) greedyCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 			BusyAt:    claims.busyAt,
 		})
 		if err != nil {
+			compSpan.End(trace.S("error", err.Error()))
 			continue
 		}
+		compSpan.End(trace.I("job", int64(req.Job.ID)), trace.I("vars", int64(len(comp.Model.Vars))),
+			trace.I("cons", int64(len(comp.Model.Cons))))
+		solveSpan := s.tr.Begin("solve", "solve")
 		t0 := time.Now()
 		sol, err := milp.Solve(comp.Model, milp.Options{
 			Gap:              s.cfg.Gap,
@@ -513,6 +596,7 @@ func (s *Scheduler) greedyCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 		elapsed := time.Since(t0)
 		res.SolverLatency += elapsed
 		s.Stats.record(sol, false, elapsed)
+		endSolveSpan(solveSpan, sol, err, false)
 		if err != nil || sol.Values == nil {
 			continue
 		}
@@ -534,6 +618,8 @@ func (s *Scheduler) greedyCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 			} else {
 				// Tentatively claim concrete nodes for the deferred start so
 				// later (lower-priority) jobs plan around them.
+				s.tr.Instant("place", "defer", trace.I("job", int64(req.Job.ID)),
+					trace.S("option", opt.Key), trace.I("start_slice", g.Start))
 				nodes := s.pickDeferred(comp, g, rel, claims)
 				for _, n := range nodes {
 					claims.add(n, g.Start, end)
@@ -581,6 +667,8 @@ func (s *Scheduler) fallbackPack(now int64, free *bitset.Set, reqs []*strlgen.Re
 
 // launch emits a decision and updates internal running state.
 func (s *Scheduler) launch(now int64, j *workload.Job, nodes []int, opt *strlgen.Option, res *sim.CycleResult) {
+	s.tr.Instant("place", "launch", trace.I("job", int64(j.ID)), trace.S("option", opt.Key),
+		trace.I("nodes", int64(len(nodes))), trace.I("est_dur", opt.EstDur))
 	res.Decisions = append(res.Decisions, sim.Decision{Job: j, Nodes: nodes})
 	s.running[j.ID] = &runInfo{job: j, nodes: nodes, estEnd: now + opt.EstDur}
 	s.removePending(j)

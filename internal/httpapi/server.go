@@ -11,10 +11,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
+	"time"
 
 	"tetrisched/internal/bitset"
+	"tetrisched/internal/core"
 	"tetrisched/internal/sim"
+	"tetrisched/internal/trace"
 	"tetrisched/internal/workload"
 )
 
@@ -111,12 +115,66 @@ type CompletionMsg struct {
 	Now   int64 `json:"now"`
 }
 
+// SolverStatusMsg is the cumulative MILP/LP telemetry block of a status
+// response — the daemon-side view of core.SolveStats.
+type SolverStatusMsg struct {
+	Solves          int     `json:"solves"`
+	Nodes           int     `json:"bb_nodes"`
+	MaxNodes        int     `json:"bb_nodes_max"`
+	Workers         int     `json:"workers"`
+	WarmStarts      int     `json:"warm_starts"`
+	LPIters         int64   `json:"lp_iterations"`
+	Phase1          int     `json:"lp_phase1"`
+	WarmLPs         int     `json:"lp_warm_hits"`
+	ColdLPs         int     `json:"lp_cold_starts"`
+	WarmHitRate     float64 `json:"lp_warm_hit_rate"`
+	MeanSolveMillis float64 `json:"mean_solve_millis"`
+	MaxSolveMillis  float64 `json:"max_solve_millis"`
+}
+
 // StatusResponse summarizes daemon state.
 type StatusResponse struct {
 	Scheduler string `json:"scheduler"`
 	Pending   int    `json:"pending"`
 	Running   int    `json:"running"`
 	Universe  int    `json:"universe"`
+	Cycles    uint64 `json:"cycles"`
+	// Solver carries cumulative solve telemetry when the wrapped scheduler
+	// exposes it (core.Scheduler does); absent otherwise.
+	Solver *SolverStatusMsg `json:"solver,omitempty"`
+}
+
+// solveStatsSource is implemented by schedulers that expose cumulative MILP
+// telemetry (core.Scheduler.SolveStatsSnapshot).
+type solveStatsSource interface {
+	SolveStatsSnapshot() core.SolveStats
+}
+
+// solveLatencyBuckets are the /metrics histogram bounds for per-cycle MILP
+// latency, in seconds — spanning sub-millisecond warm cycles up to the
+// multi-second budgets of §3.2.2 scale experiments.
+var solveLatencyBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5}
+
+// histogram is a fixed-bucket Prometheus-style cumulative histogram.
+type histogram struct {
+	buckets []float64 // upper bounds, ascending; an implicit +Inf follows
+	counts  []uint64  // per-bucket (non-cumulative) counts; last is +Inf
+	sum     float64
+	count   uint64
+}
+
+func newHistogram(buckets []float64) *histogram {
+	return &histogram{buckets: buckets, counts: make([]uint64, len(buckets)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := 0
+	for i < len(h.buckets) && v > h.buckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.count++
 }
 
 // Server wraps a scheduler behind the HTTP interface. It serializes all
@@ -127,16 +185,34 @@ type Server struct {
 	universe int
 	jobs     map[int]*workload.Job
 	running  map[int]bool
+	tracer   *trace.Tracer
+
+	// Daemon-side observability counters (see docs/OBSERVABILITY.md).
+	cycles      uint64
+	decisions   uint64
+	preemptions uint64
+	dropped     uint64
+	solveHist   *histogram
 }
 
 // NewServer wraps sched; universe is the cluster size (node ID bound).
 func NewServer(sched sim.Scheduler, universe int) *Server {
 	return &Server{
-		sched:    sched,
-		universe: universe,
-		jobs:     make(map[int]*workload.Job),
-		running:  make(map[int]bool),
+		sched:     sched,
+		universe:  universe,
+		jobs:      make(map[int]*workload.Job),
+		running:   make(map[int]bool),
+		solveHist: newHistogram(solveLatencyBuckets),
 	}
+}
+
+// SetTracer attaches the tracer served by GET /v1/trace (nil disables the
+// endpoint) and returns the server for chaining. The same tracer should be
+// wired into the scheduler (core.Config.Tracer) so cycle internals land in
+// the ring.
+func (s *Server) SetTracer(tr *trace.Tracer) *Server {
+	s.tracer = tr
+	return s
 }
 
 // Handler returns the HTTP routes.
@@ -146,6 +222,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/cycle", s.handleCycle)
 	mux.HandleFunc("/v1/completions", s.handleCompletion)
 	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("/v1/trace", s.handleTrace)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -208,6 +286,11 @@ func (s *Server) handleCycle(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cr := s.sched.Cycle(req.Now, free)
+	s.cycles++
+	s.decisions += uint64(len(cr.Decisions))
+	s.preemptions += uint64(len(cr.Preempted))
+	s.dropped += uint64(len(cr.Dropped))
+	s.solveHist.observe(cr.SolverLatency.Seconds())
 	resp := CycleResponse{SolverMillis: float64(cr.SolverLatency.Microseconds()) / 1000}
 	for _, p := range cr.Preempted {
 		resp.Preempted = append(resp.Preempted, p.ID)
@@ -250,10 +333,103 @@ func (s *Server) handleCompletion(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	writeJSON(w, &StatusResponse{
+	resp := &StatusResponse{
 		Scheduler: s.sched.Name(),
 		Pending:   len(s.jobs) - len(s.running),
 		Running:   len(s.running),
 		Universe:  s.universe,
-	})
+		Cycles:    s.cycles,
+	}
+	if src, ok := s.sched.(solveStatsSource); ok {
+		st := src.SolveStatsSnapshot()
+		resp.Solver = &SolverStatusMsg{
+			Solves: st.Solves, Nodes: st.Nodes, MaxNodes: st.MaxNodes,
+			Workers: st.Workers, WarmStarts: st.WarmStarts,
+			LPIters: st.LPIters, Phase1: st.Phase1,
+			WarmLPs: st.WarmLPs, ColdLPs: st.ColdLPs,
+			WarmHitRate:     st.WarmHitRate(),
+			MeanSolveMillis: ms(st.MeanSolve()),
+			MaxSolveMillis:  ms(st.MaxSolve),
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// handleTrace serves a Chrome trace-event JSON snapshot of the daemon's
+// trace ring — download and load into Perfetto (ui.perfetto.dev) or
+// chrome://tracing. 404 when the daemon runs with tracing disabled.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	if s.tracer == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("httpapi: tracing disabled"))
+		return
+	}
+	snap := s.tracer.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="tetrisched-trace.json"`)
+	if err := trace.WriteChrome(w, snap); err != nil {
+		// Headers already sent; the truncated body is the best we can do.
+		_ = err
+	}
+}
+
+// handleMetrics serves Prometheus text exposition format (version 0.0.4):
+// cycle/decision counters, a per-cycle solve-latency histogram, queue
+// gauges, and — when the scheduler exposes them — cumulative solver totals
+// (B&B nodes, LP iterations, warm-hit rate). Metric names are documented in
+// docs/OBSERVABILITY.md.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("tetrisched_cycles_total", "Scheduling cycles executed.", s.cycles)
+	counter("tetrisched_decisions_total", "Job launch decisions returned.", s.decisions)
+	counter("tetrisched_preemptions_total", "Running jobs preempted.", s.preemptions)
+	counter("tetrisched_dropped_total", "Pending jobs dropped (no remaining value).", s.dropped)
+	gauge("tetrisched_jobs_pending", "Jobs submitted but not running.", float64(len(s.jobs)-len(s.running)))
+	gauge("tetrisched_jobs_running", "Jobs believed running.", float64(len(s.running)))
+	gauge("tetrisched_cluster_nodes", "Cluster size (node ID universe).", float64(s.universe))
+
+	const hist = "tetrisched_solve_latency_seconds"
+	fmt.Fprintf(&b, "# HELP %s Per-cycle MILP solver wall-clock.\n# TYPE %s histogram\n", hist, hist)
+	cum := uint64(0)
+	for i, ub := range s.solveHist.buckets {
+		cum += s.solveHist.counts[i]
+		fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", hist, trimFloat(ub), cum)
+	}
+	cum += s.solveHist.counts[len(s.solveHist.buckets)]
+	fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", hist, cum)
+	fmt.Fprintf(&b, "%s_sum %g\n%s_count %d\n", hist, s.solveHist.sum, hist, s.solveHist.count)
+
+	if src, ok := s.sched.(solveStatsSource); ok {
+		st := src.SolveStatsSnapshot()
+		counter("tetrisched_solver_solves_total", "MILP solves across all cycles.", uint64(st.Solves))
+		counter("tetrisched_solver_bb_nodes_total", "Branch-and-bound nodes explored.", uint64(st.Nodes))
+		gauge("tetrisched_solver_bb_nodes_max", "Largest single-solve node count.", float64(st.MaxNodes))
+		gauge("tetrisched_solver_workers", "Workers used by the most recent solve.", float64(st.Workers))
+		counter("tetrisched_solver_warm_starts_total", "Solves seeded with the previous cycle's plan.", uint64(st.WarmStarts))
+		counter("tetrisched_solver_lp_iterations_total", "Simplex pivots across all relaxations.", uint64(st.LPIters))
+		counter("tetrisched_solver_lp_warm_hits_total", "Node LPs re-solved warm from a parent basis.", uint64(st.WarmLPs))
+		counter("tetrisched_solver_lp_cold_starts_total", "LPs solved from scratch.", uint64(st.ColdLPs))
+		gauge("tetrisched_solver_lp_warm_hit_rate", "Fraction of node LPs served warm.", st.WarmHitRate())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}
+
+// trimFloat renders a histogram bound the way Prometheus clients expect
+// (no exponent for these magnitudes).
+func trimFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", v), "0"), ".")
 }

@@ -7,6 +7,7 @@ import (
 	"tetrisched/internal/bitset"
 	"tetrisched/internal/cluster"
 	"tetrisched/internal/rayon"
+	"tetrisched/internal/trace"
 	"tetrisched/internal/workload"
 )
 
@@ -73,6 +74,11 @@ type Config struct {
 	// re-planning). The scheduler observes them only through the shrinking
 	// free set and the re-submission of killed jobs.
 	Failures []NodeFailure
+	// Tracer, when non-nil, records driver-level events — Rayon
+	// admission verdicts, job lifecycle, node failures, per-cycle driver
+	// spans — alongside whatever the scheduler itself traces (see
+	// internal/trace and docs/OBSERVABILITY.md).
+	Tracer *trace.Tracer
 }
 
 // JobStat records the fate of one job.
@@ -140,6 +146,7 @@ func Run(cfg Config) (*Result, error) {
 		cfg.Plan = rayon.NewPlan(cfg.Cluster.N(), cfg.CyclePeriod)
 	}
 	eng := NewEngine()
+	tr := cfg.Tracer
 	res := &Result{Stats: make([]JobStat, len(cfg.Jobs))}
 	free := cfg.Cluster.All()
 	running := make(map[int][]int) // job ID -> nodes
@@ -160,12 +167,21 @@ func Run(cfg Config) (*Result, error) {
 		res.Stats[i].Job = j
 		job := j
 		eng.At(j.Submit, func() {
+			tr.SetVirtualTime(eng.Now())
 			if job.Class == workload.SLO {
 				r := cfg.Plan.Admit(job.ID, eng.Now(), job.Deadline, job.K, job.EstRuntime(true))
 				job.Reserved = r != nil
+				verdict := "reject"
+				if job.Reserved {
+					verdict = "admit"
+				}
+				tr.Instant("admission", verdict, trace.I("job", int64(job.ID)),
+					trace.I("k", int64(job.K)), trace.I("deadline", job.Deadline))
 			}
 			res.Stats[job.ID].Submitted = true
 			submittedAll++
+			tr.Instant("job", "submit", trace.I("job", int64(job.ID)),
+				trace.S("class", job.Class.String()), trace.I("k", int64(job.K)))
 			cfg.Scheduler.Submit(eng.Now(), job)
 		})
 	}
@@ -183,6 +199,8 @@ func Run(cfg Config) (*Result, error) {
 				return
 			}
 			down.Add(f.Node)
+			tr.SetVirtualTime(eng.Now())
+			tr.Instant("failure", "node-down", trace.I("node", int64(f.Node)))
 			if free.Contains(f.Node) {
 				free.Remove(f.Node)
 				return
@@ -207,6 +225,8 @@ func Run(cfg Config) (*Result, error) {
 				}
 				st := &res.Stats[id]
 				st.FailureKills++
+				tr.Instant("failure", "kill", trace.I("job", int64(id)),
+					trace.I("node", int64(f.Node)), trace.I("lost", eng.Now()-st.Start))
 				res.BusyNodeSeconds += int64(len(nodes)) * (eng.Now() - st.Start)
 				st.Started = false
 				st.genCounter++
@@ -220,6 +240,8 @@ func Run(cfg Config) (*Result, error) {
 				if down.Contains(f.Node) {
 					down.Remove(f.Node)
 					free.Add(f.Node)
+					tr.SetVirtualTime(eng.Now())
+					tr.Instant("failure", "node-up", trace.I("node", int64(f.Node)))
 				}
 			})
 		}
@@ -235,6 +257,9 @@ func Run(cfg Config) (*Result, error) {
 		st := &res.Stats[job.ID]
 		st.Completed = true
 		st.Finish = now
+		tr.SetVirtualTime(now)
+		tr.Instant("job", "finish", trace.I("job", int64(job.ID)),
+			trace.I("latency", now-job.Submit), trace.B("met_slo", st.MetSLO()))
 		res.BusyNodeSeconds += int64(len(nodes)) * (now - st.Start)
 		if r := cfg.Plan.Lookup(job.ID); r != nil {
 			cfg.Plan.Release(r, now)
@@ -252,10 +277,19 @@ func Run(cfg Config) (*Result, error) {
 			return
 		}
 		now := eng.Now()
+		tr.SetVirtualTime(now)
+		driverSpan := tr.Begin("driver", "cycle")
 		t0 := time.Now()
 		cr := cfg.Scheduler.Cycle(now, free.Clone())
 		wall := time.Since(t0)
 		res.Cycles = append(res.Cycles, CycleStat{At: now, Wall: wall, Solver: cr.SolverLatency})
+		driverSpan.End(trace.I("decisions", int64(len(cr.Decisions))),
+			trace.I("preempted", int64(len(cr.Preempted))),
+			trace.I("dropped", int64(len(cr.Dropped))),
+			trace.I("running", int64(len(running))),
+			trace.F("solver_ms", float64(cr.SolverLatency.Microseconds())/1000))
+		tr.Counter("driver", "cluster", trace.I("free_nodes", int64(free.Count())),
+			trace.I("running_jobs", int64(len(running))))
 
 		for _, job := range cr.Preempted {
 			nodes, ok := running[job.ID]
@@ -300,6 +334,8 @@ func Run(cfg Config) (*Result, error) {
 			running[d.Job.ID] = append([]int(nil), d.Nodes...)
 			st.Started = true
 			st.Start = now
+			tr.Instant("job", "start", trace.I("job", int64(d.Job.ID)),
+				trace.I("width", int64(len(d.Nodes))), trace.I("waited", now-d.Job.Submit))
 			st.Nodes = append([]int(nil), d.Nodes...)
 			progress = true
 			job := d.Job

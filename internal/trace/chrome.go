@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// ChromeSink streams events as Chrome trace-event JSON (the format read by
+// Perfetto and chrome://tracing): a `{"traceEvents":[...]}` object whose
+// array grows one element per event, so memory stays bounded no matter how
+// long the run. Spans become "X" (complete) events, instants "i", counters
+// "C". Each event category gets its own named track (tid) so the per-phase
+// timelines — cycle, strl, compile, solve, place, … — render as separate
+// swimlanes. Close writes the track-name metadata and the closing
+// brackets; a trace is well-formed JSON only after Close.
+type ChromeSink struct {
+	bw     *bufio.Writer
+	buf    []byte
+	tracks map[string]int
+	order  []string // categories by first appearance, index+1 = tid
+	wrote  bool
+	closed bool
+}
+
+// NewChromeSink starts a Chrome trace-event stream on w. The caller owns w
+// and closes it after Close.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{
+		bw:     bufio.NewWriterSize(w, 1<<16),
+		buf:    make([]byte, 0, 512),
+		tracks: make(map[string]int),
+	}
+	s.bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	return s
+}
+
+func (s *ChromeSink) tid(cat string) int {
+	if id, ok := s.tracks[cat]; ok {
+		return id
+	}
+	id := len(s.order) + 1
+	s.tracks[cat] = id
+	s.order = append(s.order, cat)
+	return id
+}
+
+// Emit implements Sink.
+func (s *ChromeSink) Emit(e *Event) error {
+	b := s.buf[:0]
+	if s.wrote {
+		b = append(b, ',')
+	}
+	s.wrote = true
+	b = append(b, `{"name":`...)
+	b = appendJSONString(b, e.Name)
+	b = append(b, `,"cat":`...)
+	b = appendJSONString(b, e.Cat)
+	b = append(b, `,"ph":"`...)
+	switch e.Kind {
+	case KindSpan:
+		b = append(b, 'X')
+	case KindCounter:
+		b = append(b, 'C')
+	default:
+		b = append(b, 'i')
+	}
+	b = append(b, `","pid":1,"tid":`...)
+	b = appendInt(b, s.tid(e.Cat))
+	b = append(b, `,"ts":`...)
+	b = appendMicros(b, e.TS)
+	if e.Kind == KindSpan {
+		b = append(b, `,"dur":`...)
+		b = appendMicros(b, e.Dur)
+	}
+	if e.Kind == KindInstant {
+		b = append(b, `,"s":"t"`...)
+	}
+	b = append(b, `,"args":`...)
+	b = appendArgs(b, e)
+	b = append(b, '}')
+	s.buf = b
+	_, err := s.bw.Write(b)
+	return err
+}
+
+// Close implements Sink: it appends thread/process-name metadata events,
+// closes the JSON structure, and flushes.
+func (s *ChromeSink) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	b := s.buf[:0]
+	if s.wrote {
+		b = append(b, ',')
+	}
+	b = append(b, `{"name":"process_name","ph":"M","pid":1,"args":{"name":"tetrisched"}}`...)
+	for i, cat := range s.order {
+		b = append(b, `,{"name":"thread_name","ph":"M","pid":1,"tid":`...)
+		b = appendInt(b, i+1)
+		b = append(b, `,"args":{"name":`...)
+		b = appendJSONString(b, cat)
+		b = append(b, `}}`...)
+	}
+	b = append(b, `]}`...)
+	if _, err := s.bw.Write(b); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v >= 0 && v < 10 {
+		return append(b, '0'+byte(v))
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = '0' + byte(v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// WriteChrome writes a snapshot of events as one complete Chrome
+// trace-event JSON document (used by the daemon's /v1/trace endpoint).
+func WriteChrome(w io.Writer, events []Event) error {
+	s := NewChromeSink(w)
+	for i := range events {
+		if err := s.Emit(&events[i]); err != nil {
+			return err
+		}
+	}
+	return s.Close()
+}
+
+// ChromeEvent is the decoded form of one trace-event array element, for
+// consumers that read exported traces back (tests, tooling).
+type ChromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Ph   string                 `json:"ph"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur"`
+	Args map[string]interface{} `json:"args"`
+}
+
+// ChromeDoc is the decoded top-level Chrome trace-event JSON object.
+type ChromeDoc struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+}
+
+// ValidateChrome checks that data is a well-formed Chrome trace-event JSON
+// document and returns the event count.
+func ValidateChrome(data []byte) (int, error) {
+	doc, err := DecodeChrome(data)
+	if err != nil {
+		return 0, err
+	}
+	return len(doc.TraceEvents), nil
+}
+
+// DecodeChrome parses an exported Chrome trace-event JSON document.
+func DecodeChrome(data []byte) (*ChromeDoc, error) {
+	var doc ChromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}

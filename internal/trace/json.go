@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"math"
+	"strconv"
+)
+
+// Append-based JSON encoding shared by the exporters. Hand-rolled rather
+// than encoding/json so the streaming sinks stay allocation-free per event
+// (one reusable buffer, no intermediate maps or reflection).
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a quoted, escaped JSON string.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			b = append(b, '\\', '"')
+		case c == '\\':
+			b = append(b, '\\', '\\')
+		case c >= 0x20:
+			b = append(b, c)
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		case c == '\r':
+			b = append(b, '\\', 'r')
+		default:
+			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		}
+	}
+	return append(b, '"')
+}
+
+// appendValue appends the arg's value as a JSON literal.
+func (a Arg) appendValue(b []byte) []byte {
+	switch a.kind {
+	case argInt:
+		return strconv.AppendInt(b, a.i, 10)
+	case argFloat:
+		if math.IsNaN(a.f) || math.IsInf(a.f, 0) {
+			return appendJSONString(b, strconv.FormatFloat(a.f, 'g', -1, 64))
+		}
+		return strconv.AppendFloat(b, a.f, 'g', -1, 64)
+	case argBool:
+		if a.i != 0 {
+			return append(b, "true"...)
+		}
+		return append(b, "false"...)
+	default:
+		return appendJSONString(b, a.s)
+	}
+}
+
+// appendArgs appends the event payload as a JSON object, including the
+// virtual-time stamp when one is set.
+func appendArgs(b []byte, e *Event) []byte {
+	b = append(b, '{')
+	for i := 0; i < e.NArg; i++ {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONString(b, e.Args[i].Key)
+		b = append(b, ':')
+		b = e.Args[i].appendValue(b)
+	}
+	if e.VT >= 0 {
+		if e.NArg > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `"vt":`...)
+		b = strconv.AppendInt(b, e.VT, 10)
+	}
+	return append(b, '}')
+}
+
+// appendMicros appends a nanosecond quantity as fractional microseconds
+// (the unit of Chrome trace timestamps).
+func appendMicros(b []byte, ns int64) []byte {
+	b = strconv.AppendInt(b, ns/1000, 10)
+	frac := ns % 1000
+	if frac != 0 {
+		b = append(b, '.')
+		b = append(b, '0'+byte(frac/100), '0'+byte(frac/10%10), '0'+byte(frac%10))
+	}
+	return b
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// JSONLSink streams events as JSON Lines: one self-contained object per
+// event, newline-terminated, flushed through a fixed-size buffer — nothing
+// is retained per event, so arbitrarily long runs stream in constant
+// memory. Unlike the Chrome format the file is valid line-by-line from the
+// first event, which makes it greppable, tail -f-able, and robust to
+// truncation.
+//
+// Wire form:
+//
+//	{"seq":12,"ts_us":1042.5,"kind":"span","cat":"solve","name":"solve","dur_us":880.2,"args":{"nodes":17,"vt":96}}
+type JSONLSink struct {
+	bw  *bufio.Writer
+	buf []byte
+}
+
+// NewJSONLSink starts a JSONL stream on w. The caller owns w and closes it
+// after Close.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{bw: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 512)}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(e *Event) error {
+	b := s.buf[:0]
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, e.Seq, 10)
+	b = append(b, `,"ts_us":`...)
+	b = appendMicros(b, e.TS)
+	b = append(b, `,"kind":`...)
+	b = appendJSONString(b, e.Kind.String())
+	b = append(b, `,"cat":`...)
+	b = appendJSONString(b, e.Cat)
+	b = append(b, `,"name":`...)
+	b = appendJSONString(b, e.Name)
+	if e.Kind == KindSpan {
+		b = append(b, `,"dur_us":`...)
+		b = appendMicros(b, e.Dur)
+	}
+	b = append(b, `,"args":`...)
+	b = appendArgs(b, e)
+	b = append(b, '}', '\n')
+	s.buf = b
+	_, err := s.bw.Write(b)
+	return err
+}
+
+// Close implements Sink: it flushes buffered lines.
+func (s *JSONLSink) Close() error { return s.bw.Flush() }

@@ -1,0 +1,286 @@
+// Package trace is the scheduler's structured tracing substrate: a
+// low-overhead, allocation-conscious event recorder that makes one
+// scheduling run inspectable from the inside — where each cycle spent its
+// time (STRL generation, MILP compile, solve, extraction), what the solver
+// saw (model dimensions, nodes explored, warm-hit rates), and what was
+// decided (placements with chosen start slices, deferrals, preemptions,
+// admission verdicts, failure kills).
+//
+// The design goals, in order:
+//
+//  1. Disabled tracing must cost one branch. Every method is safe on a nil
+//     *Tracer and returns immediately, so call sites need no guards and the
+//     scheduler's hot path is unchanged when no tracer is configured.
+//  2. Bounded memory. Events land in a fixed-size ring buffer (oldest
+//     overwritten); long daemon runs never grow. An optional Sink streams
+//     every event out as it is recorded (Chrome trace JSON or JSONL), so
+//     full-fidelity traces go to disk without accumulating in memory.
+//  3. No per-event maps or interface boxing. Event payloads are a fixed
+//     inline array of typed Args (int/float/string/bool), filled by value.
+//
+// Two exporters ship with the package: Chrome trace-event JSON
+// (ChromeSink/WriteChrome — loadable in Perfetto or chrome://tracing, with
+// one named track per event category) and a streaming JSONL log
+// (JSONLSink — one self-contained JSON object per line). See
+// docs/OBSERVABILITY.md for the wire formats and a Perfetto how-to.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	// KindSpan is a completed duration: [TS, TS+Dur).
+	KindSpan Kind = iota
+	// KindInstant is a point event.
+	KindInstant
+	// KindCounter is a sampled numeric series (args hold the values).
+	KindCounter
+)
+
+// String returns the JSONL wire name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSpan:
+		return "span"
+	case KindInstant:
+		return "instant"
+	case KindCounter:
+		return "counter"
+	}
+	return "unknown"
+}
+
+type argKind uint8
+
+const (
+	argInt argKind = iota
+	argFloat
+	argStr
+	argBool
+)
+
+// Arg is one typed key/value payload entry. Construct with I, F, S, or B;
+// the zero Arg is ignored by exporters only if never counted, so always use
+// the constructors.
+type Arg struct {
+	Key  string
+	s    string
+	i    int64
+	f    float64
+	kind argKind
+}
+
+// I makes an integer arg.
+func I(key string, v int64) Arg { return Arg{Key: key, i: v, kind: argInt} }
+
+// F makes a float arg.
+func F(key string, v float64) Arg { return Arg{Key: key, f: v, kind: argFloat} }
+
+// S makes a string arg.
+func S(key, v string) Arg { return Arg{Key: key, s: v, kind: argStr} }
+
+// B makes a boolean arg.
+func B(key string, v bool) Arg {
+	a := Arg{Key: key, kind: argBool}
+	if v {
+		a.i = 1
+	}
+	return a
+}
+
+// MaxArgs is the per-event payload capacity; extra args are dropped.
+const MaxArgs = 8
+
+// Event is one recorded trace event. Events are plain values: the ring
+// stores them inline and Snapshot copies them out, so holding a snapshot
+// never pins tracer internals.
+type Event struct {
+	Seq  uint64 // global record order
+	TS   int64  // nanoseconds since the tracer epoch (monotonic)
+	Dur  int64  // span duration in nanoseconds (0 for instants/counters)
+	VT   int64  // virtual (simulated) time in seconds; -1 when unknown
+	Kind Kind
+	Cat  string // category; becomes the track name in Chrome exports
+	Name string
+	Args [MaxArgs]Arg
+	NArg int
+}
+
+// Sink receives every recorded event, synchronously, in record order, under
+// the tracer's lock — implementations must be fast, must not retain e past
+// the call, and must not call back into the Tracer. Close flushes and
+// finalizes the output.
+type Sink interface {
+	Emit(e *Event) error
+	Close() error
+}
+
+// Tracer records events into a ring buffer and, optionally, a streaming
+// sink. All methods are safe on a nil receiver (no-ops), safe for
+// concurrent use, and allocation-free on the record path.
+type Tracer struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	seq     uint64
+	ring    []Event
+	next    int // ring slot for the next event
+	n       int // valid events in the ring (≤ len(ring))
+	vt      int64
+	sink    Sink
+	sinkErr error // first sink failure; recording continues ring-only
+}
+
+// New returns a tracer whose ring holds ringSize events (≤ 0 picks 4096).
+func New(ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = 4096
+	}
+	return &Tracer{epoch: time.Now(), ring: make([]Event, ringSize), vt: -1}
+}
+
+// SetSink attaches a streaming sink and returns the tracer for chaining.
+// Pass nil to detach (the previous sink is not closed).
+func (t *Tracer) SetSink(s Sink) *Tracer {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.sink = s
+	t.mu.Unlock()
+	return t
+}
+
+// Enabled reports whether events are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// SetVirtualTime stamps subsequent events with the simulation clock.
+func (t *Tracer) SetVirtualTime(vt int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.vt = vt
+	t.mu.Unlock()
+}
+
+func (t *Tracer) now() int64 { return int64(time.Since(t.epoch)) }
+
+func (t *Tracer) record(kind Kind, cat, name string, ts, dur int64, args []Arg) {
+	t.mu.Lock()
+	e := &t.ring[t.next]
+	*e = Event{Seq: t.seq, TS: ts, Dur: dur, VT: t.vt, Kind: kind, Cat: cat, Name: name}
+	e.NArg = copy(e.Args[:], args)
+	t.seq++
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+	}
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	if t.sink != nil && t.sinkErr == nil {
+		t.sinkErr = t.sink.Emit(e)
+	}
+	t.mu.Unlock()
+}
+
+// Span is an in-flight duration handle returned by Begin. The zero Span
+// (from a nil tracer) is inert.
+type Span struct {
+	t     *Tracer
+	cat   string
+	name  string
+	start int64
+}
+
+// Begin opens a span; close it with End. Spans on the same category nest by
+// timestamp containment in Chrome exports.
+func (t *Tracer) Begin(cat, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, cat: cat, name: name, start: t.now()}
+}
+
+// End records the span with its payload.
+func (s Span) End(args ...Arg) {
+	if s.t == nil {
+		return
+	}
+	end := s.t.now()
+	s.t.record(KindSpan, s.cat, s.name, s.start, end-s.start, args)
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.record(KindInstant, cat, name, t.now(), 0, args)
+}
+
+// Counter records a sample of one or more numeric series.
+func (t *Tracer) Counter(cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.record(KindCounter, cat, name, t.now(), 0, args)
+}
+
+// Snapshot copies the ring's contents in record order (oldest first). The
+// result is independent of further recording.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.n; i++ {
+		j := start + i
+		if j >= len(t.ring) {
+			j -= len(t.ring)
+		}
+		out[i] = t.ring[j]
+	}
+	return out
+}
+
+// Err returns the first sink failure, if any. The ring keeps recording
+// after a sink error; only streaming stops.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sinkErr
+}
+
+// Close finalizes and detaches the sink (flushing exporters' trailers) and
+// returns the first error seen on the streaming path. A sinkless or nil
+// tracer closes cleanly.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sink != nil {
+		err := t.sink.Close()
+		if t.sinkErr == nil {
+			t.sinkErr = err
+		}
+		t.sink = nil
+	}
+	return t.sinkErr
+}

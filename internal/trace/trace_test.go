@@ -1,0 +1,304 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilTracer: every method must be a no-op on a nil tracer — the
+// disabled-tracing fast path call sites rely on.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.Begin("cat", "name")
+	sp.End(I("x", 1))
+	tr.Instant("cat", "name", S("k", "v"))
+	tr.Counter("cat", "name", F("v", 1.5))
+	tr.SetVirtualTime(42)
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("nil snapshot = %v", got)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("nil close: %v", err)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatalf("nil err: %v", err)
+	}
+	if tr.SetSink(nil) != nil {
+		t.Fatal("nil SetSink returned non-nil")
+	}
+}
+
+// TestRingWrap: the ring keeps the newest events in record order once full.
+func TestRingWrap(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Instant("c", "e", I("i", int64(i)))
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(snap))
+	}
+	for k, e := range snap {
+		if want := uint64(6 + k); e.Seq != want {
+			t.Errorf("snap[%d].Seq = %d, want %d", k, e.Seq, want)
+		}
+		if e.NArg != 1 || e.Args[0].i != int64(6+k) {
+			t.Errorf("snap[%d] args = %+v", k, e.Args[:e.NArg])
+		}
+	}
+	// Before wrap-around, a short run is returned whole.
+	tr2 := New(8)
+	tr2.Instant("c", "a")
+	tr2.Instant("c", "b")
+	if snap := tr2.Snapshot(); len(snap) != 2 || snap[0].Name != "a" || snap[1].Name != "b" {
+		t.Fatalf("partial snapshot = %+v", snap)
+	}
+}
+
+// TestSpanPayload: spans carry duration, virtual time, and truncated args.
+func TestSpanPayload(t *testing.T) {
+	tr := New(16)
+	tr.SetVirtualTime(96)
+	sp := tr.Begin("solve", "solve")
+	args := make([]Arg, 0, MaxArgs+2)
+	for i := 0; i < MaxArgs+2; i++ {
+		args = append(args, I("k", int64(i)))
+	}
+	sp.End(args...)
+	snap := tr.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("events = %d", len(snap))
+	}
+	e := snap[0]
+	if e.Kind != KindSpan || e.Dur < 0 || e.VT != 96 || e.Cat != "solve" {
+		t.Fatalf("event = %+v", e)
+	}
+	if e.NArg != MaxArgs {
+		t.Fatalf("NArg = %d, want %d (extra args dropped)", e.NArg, MaxArgs)
+	}
+}
+
+// TestChromeExport: snapshot export round-trips through encoding/json with
+// the expected phases, tracks, and metadata.
+func TestChromeExport(t *testing.T) {
+	tr := New(64)
+	tr.SetVirtualTime(4)
+	sp := tr.Begin("cycle", "cycle")
+	inner := tr.Begin("solve", "solve")
+	inner.End(I("nodes", 17), F("objective", 3.25), S("status", "optimal"), B("warm", true))
+	sp.End(I("pending", 5))
+	tr.Instant("place", "launch", I("job", 7), S("option", "pref\"q"))
+	tr.Counter("queue", "pending", I("jobs", 5))
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := DecodeChrome(buf.Bytes())
+	if err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	phases := map[string]string{}
+	tracks := map[int]string{}
+	var threadNames int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				threadNames++
+				tracks[e.Tid] = e.Args["name"].(string)
+			}
+		case "X", "i", "C":
+			phases[e.Name] = e.Ph
+			if e.Pid != 1 || e.Tid < 1 {
+				t.Errorf("event %q pid/tid = %d/%d", e.Name, e.Pid, e.Tid)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if phases["cycle"] != "X" || phases["solve"] != "X" || phases["launch"] != "i" || phases["pending"] != "C" {
+		t.Errorf("phases = %v", phases)
+	}
+	if threadNames != 4 { // cycle, solve, place, queue
+		t.Errorf("thread_name metadata = %d, want 4 (%v)", threadNames, tracks)
+	}
+	// Spot-check payload fidelity, including string escaping and vt.
+	for _, e := range doc.TraceEvents {
+		if e.Name == "launch" {
+			if e.Args["option"] != `pref"q` || e.Args["job"] != float64(7) || e.Args["vt"] != float64(4) {
+				t.Errorf("launch args = %v", e.Args)
+			}
+		}
+		if e.Name == "solve" {
+			if e.Args["warm"] != true || e.Args["status"] != "optimal" || e.Args["objective"] != 3.25 {
+				t.Errorf("solve args = %v", e.Args)
+			}
+		}
+	}
+}
+
+// TestChromeSinkStreaming: a tracer streaming through a ChromeSink with a
+// tiny ring produces a complete document containing every event, proving
+// the stream does not depend on ring retention.
+func TestChromeSinkStreaming(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(2).SetSink(NewChromeSink(&buf))
+	const total = 100
+	for i := 0; i < total; i++ {
+		tr.Instant("c", "e", I("i", int64(i)))
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateChrome(buf.Bytes())
+	if err != nil {
+		t.Fatalf("streamed chrome trace malformed: %v", err)
+	}
+	if n < total { // + metadata events
+		t.Fatalf("streamed %d events, want ≥ %d", n, total)
+	}
+}
+
+// TestJSONLSink: every line is a self-contained JSON object with the
+// documented fields.
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(2).SetSink(NewJSONLSink(&buf))
+	tr.SetVirtualTime(8)
+	sp := tr.Begin("cycle", "cycle")
+	sp.End(I("pending", 3))
+	tr.Instant("place", "defer", I("job", 1), I("start_slice", 2))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	for i, ln := range lines {
+		var obj map[string]interface{}
+		if err := json.Unmarshal([]byte(ln), &obj); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, ln)
+		}
+		for _, key := range []string{"seq", "ts_us", "kind", "cat", "name", "args"} {
+			if _, ok := obj[key]; !ok {
+				t.Errorf("line %d missing %q: %s", i, key, ln)
+			}
+		}
+	}
+	var span map[string]interface{}
+	if err := json.Unmarshal([]byte(lines[0]), &span); err != nil {
+		t.Fatal(err)
+	}
+	if span["kind"] != "span" || span["dur_us"] == nil {
+		t.Errorf("span line = %v", span)
+	}
+	if args := span["args"].(map[string]interface{}); args["pending"] != float64(3) || args["vt"] != float64(8) {
+		t.Errorf("span args = %v", span["args"])
+	}
+}
+
+// errWriter fails after n bytes to exercise the sink-error path.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errSink
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+var errSink = &sinkError{}
+
+type sinkError struct{}
+
+func (*sinkError) Error() string { return "sink write failed" }
+
+// TestSinkError: a failing sink surfaces via Err/Close but recording into
+// the ring continues.
+func TestSinkError(t *testing.T) {
+	tr := New(8).SetSink(NewJSONLSink(&errWriter{n: 0}))
+	for i := 0; i < 2000; i++ { // enough to overflow the bufio buffer
+		tr.Instant("c", "e", S("pad", strings.Repeat("x", 64)))
+	}
+	if err := tr.Err(); err == nil {
+		t.Fatal("sink error not surfaced")
+	}
+	if len(tr.Snapshot()) != 8 {
+		t.Fatalf("ring stopped recording after sink error: %d events", len(tr.Snapshot()))
+	}
+	if err := tr.Close(); err == nil {
+		t.Fatal("Close lost the sink error")
+	}
+}
+
+// TestConcurrentRecording: concurrent spans, instants, and snapshots are
+// race-free (verified by the tier-1 -race pass) and lose nothing.
+func TestConcurrentRecording(t *testing.T) {
+	tr := New(4096)
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 100
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				sp := tr.Begin("worker", "unit")
+				tr.Instant("worker", "tick", I("g", int64(g)))
+				sp.End(I("i", int64(i)))
+				if i%10 == 0 {
+					_ = tr.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := tr.Snapshot()
+	if len(snap) != goroutines*each*2 {
+		t.Fatalf("events = %d, want %d", len(snap), goroutines*each*2)
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq != snap[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seq at %d: %d then %d", i, snap[i-1].Seq, snap[i].Seq)
+		}
+	}
+}
+
+// BenchmarkDisabled measures the nil-tracer fast path that rides inside
+// every scheduler cycle when tracing is off.
+func BenchmarkDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin("cycle", "cycle")
+		tr.Instant("place", "launch", I("job", int64(i)))
+		sp.End(I("pending", 5))
+	}
+}
+
+// BenchmarkInstant measures the enabled ring-record path.
+func BenchmarkInstant(b *testing.B) {
+	tr := New(8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Instant("place", "launch", I("job", int64(i)), S("option", "pref"))
+	}
+}
+
+// BenchmarkJSONLEmit measures the streaming encode path.
+func BenchmarkJSONLEmit(b *testing.B) {
+	tr := New(64).SetSink(NewJSONLSink(io.Discard))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Instant("solve", "solve", I("nodes", int64(i)), F("objective", 3.5))
+	}
+}
