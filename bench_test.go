@@ -121,6 +121,46 @@ func BenchmarkSchedulerCycle(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedulerCycleMultiComponent measures one cycle over a workload
+// that decomposes: data-local SLO jobs pinned to disjoint replica sets on an
+// RC256 cluster, with deadlines tight enough to cull the whole-cluster
+// fallback. Each iteration rebuilds the scheduler so every measured cycle
+// performs the full decomposed global solve.
+func BenchmarkSchedulerCycleMultiComponent(b *testing.B) {
+	c := cluster.RC256(false)
+	mkJobs := func() []*workload.Job {
+		jobs := make([]*workload.Job, 0, 16)
+		for g := 0; g < 8; g++ {
+			lo := g * 32
+			data := []int{lo, lo + 1, lo + 2, lo + 3}
+			for j := 0; j < 2; j++ {
+				jobs = append(jobs, &workload.Job{
+					ID: g*2 + j, Class: workload.SLO, Reserved: true, Type: workload.DataLocal,
+					Submit: 0, K: 2, BaseRuntime: 40, Slowdown: 2, Deadline: 50, DataNodes: data,
+				})
+			}
+		}
+		return jobs
+	}
+	var sched *core.Scheduler
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sched = core.New(c, core.Config{CyclePeriod: 4, PlanAhead: 40})
+		for _, j := range mkJobs() {
+			sched.Submit(0, j)
+		}
+		free := c.All()
+		b.StartTimer()
+		sched.Cycle(0, free)
+	}
+	b.StopTimer()
+	if sched.Stats.Decomposed == 0 || sched.Stats.Components < 2 {
+		b.Fatalf("cycle did not decompose (solves=%d components=%d); benchmark is not measuring the decomposed path",
+			sched.Stats.Decomposed, sched.Stats.Components)
+	}
+}
+
 // BenchmarkEndToEndGSHET runs a small full simulation (workload → admission
 // → scheduling → metrics) per iteration.
 func BenchmarkEndToEndGSHET(b *testing.B) {

@@ -181,8 +181,8 @@ func main() {
 	if *verbose {
 		if cs, ok := sched.(*core.Scheduler); ok {
 			st := cs.Stats
-			fmt.Printf("solver: solves=%d nodes=%d max-nodes=%d workers=%d lp-iters=%d phase1=%d warm-lp=%d cold-lp=%d\n",
-				st.Solves, st.Nodes, st.MaxNodes, st.Workers, st.LPIters, st.Phase1, st.WarmLPs, st.ColdLPs)
+			fmt.Printf("solver: solves=%d nodes=%d max-nodes=%d workers=%d lp-iters=%d phase1=%d warm-lp=%d cold-lp=%d decomposed=%d components=%d\n",
+				st.Solves, st.Nodes, st.MaxNodes, st.Workers, st.LPIters, st.Phase1, st.WarmLPs, st.ColdLPs, st.Decomposed, st.Components)
 		}
 		fmt.Println("\n  id class type  k   submit    start   finish deadline  outcome")
 		for i := range res.Stats {

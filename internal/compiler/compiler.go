@@ -73,6 +73,7 @@ type Compiled struct {
 	opts     Options
 	jobs     []strl.Expr
 	jobInd   []milp.VarID
+	jobVarLo []int // first model variable of each job (vars are per-job contiguous)
 	leaves   []*leafRecord
 	byExpr   map[strl.Expr]*leafRecord
 	childInd map[strl.Expr]milp.VarID // indicator created for each max/sum child
@@ -160,6 +161,7 @@ func Compile(jobs []strl.Expr, opts Options) (*Compiled, error) {
 	}
 
 	for jid, job := range jobs {
+		c.jobVarLo = append(c.jobVarLo, c.Model.NumVars())
 		ind := c.Model.AddBinary(fmt.Sprintf("I_j%d", jid), 0)
 		c.jobInd = append(c.jobInd, ind)
 		terms, err := c.gen(jid, job, ind, covers)

@@ -1,0 +1,192 @@
+package compiler
+
+import (
+	"tetrisched/internal/milp"
+)
+
+// Component is one independent sub-problem of a compiled batch: a maximal set
+// of jobs whose variables are transitively connected through shared
+// constraints. Jobs land in the same component exactly when some constraint —
+// in practice a supply row over a (group, slice) cell both compete for —
+// couples their variables; jobs whose candidate leaves touch disjoint node
+// groups across the whole plan-ahead window (or whose shared supply rows were
+// dropped as non-binding) end up in different components and can be solved as
+// separate, much smaller MILPs with no loss of optimality.
+//
+// The detection is driven by the emitted constraints rather than the
+// job↔equivalence-group structure alone, so presolve effects (culled leaves,
+// dropped non-binding supply rows) decouple jobs that a purely structural
+// analysis would still consider connected.
+type Component struct {
+	// Jobs holds the batch indices of this component's jobs, ascending.
+	Jobs []int
+	// Model is the component's MILP. For a single-component batch it is the
+	// parent's model itself (zero-copy); otherwise a sliced copy.
+	Model *milp.Model
+	// VarMap maps each component variable index to its index in the parent
+	// model. Nil means the identity mapping (single-component case).
+	VarMap []int
+
+	parent *Compiled
+}
+
+// Components partitions the compiled batch into independently solvable
+// sub-MILPs. It returns one Component per connected component of the
+// variable↔constraint graph, ordered by each component's smallest job index
+// (so the result is deterministic for a given model). A batch that does not
+// decompose returns a single Component wrapping the original model.
+func (c *Compiled) Components() []*Component {
+	nj := len(c.jobs)
+	if nj == 0 {
+		return nil
+	}
+	nv := c.Model.NumVars()
+	// varJob[v] = owning job; variables are created per-job contiguously.
+	varJob := make([]int, nv)
+	for j := 0; j < nj; j++ {
+		hi := nv
+		if j+1 < nj {
+			hi = c.jobVarLo[j+1]
+		}
+		for v := c.jobVarLo[j]; v < hi; v++ {
+			varJob[v] = j
+		}
+	}
+
+	// Union-find over jobs: every constraint ties together the jobs of all
+	// variables it mentions.
+	uf := make([]int, nj)
+	for i := range uf {
+		uf[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]] // path halving
+			x = uf[x]
+		}
+		return x
+	}
+	for _, con := range c.Model.Cons {
+		if len(con.Terms) < 2 {
+			continue
+		}
+		a := find(varJob[con.Terms[0].Var])
+		for _, t := range con.Terms[1:] {
+			b := find(varJob[t.Var])
+			if a != b {
+				uf[b] = a
+			}
+		}
+	}
+
+	// Group jobs by root, numbering components by first appearance so the
+	// output order is stable.
+	compOf := make([]int, nj)
+	var jobSets [][]int
+	index := make(map[int]int, nj)
+	for j := 0; j < nj; j++ {
+		r := find(j)
+		ci, ok := index[r]
+		if !ok {
+			ci = len(jobSets)
+			index[r] = ci
+			jobSets = append(jobSets, nil)
+		}
+		compOf[j] = ci
+		jobSets[ci] = append(jobSets[ci], j)
+	}
+	if len(jobSets) == 1 {
+		return []*Component{{Jobs: jobSets[0], Model: c.Model, parent: c}}
+	}
+
+	// Slice the parent model per component. full2sub is reused across
+	// components and reset via each component's VarMap afterwards.
+	full2sub := make([]int, nv)
+	for i := range full2sub {
+		full2sub[i] = -1
+	}
+	out := make([]*Component, len(jobSets))
+	for ci, jobs := range jobSets {
+		cc := &Component{Jobs: jobs, parent: c}
+		sub := milp.NewModel(c.Model.Sense)
+		for _, j := range jobs {
+			hi := nv
+			if j+1 < nj {
+				hi = c.jobVarLo[j+1]
+			}
+			for v := c.jobVarLo[j]; v < hi; v++ {
+				full2sub[v] = len(cc.VarMap)
+				cc.VarMap = append(cc.VarMap, v)
+				fv := c.Model.Vars[v]
+				sub.AddVar(fv.Name, fv.Type, fv.Lb, fv.Ub, fv.Obj)
+			}
+		}
+		for _, con := range c.Model.Cons {
+			if len(con.Terms) == 0 || compOf[varJob[con.Terms[0].Var]] != ci {
+				continue
+			}
+			// All of the constraint's variables belong to this component by
+			// construction of the union-find.
+			terms := make([]milp.Term, len(con.Terms))
+			for i, t := range con.Terms {
+				terms[i] = milp.Term{Var: milp.VarID(full2sub[t.Var]), Coef: t.Coef}
+			}
+			sub.Cons = append(sub.Cons, milp.Constraint{Name: con.Name, Terms: terms, Op: con.Op, RHS: con.RHS})
+		}
+		cc.Model = sub
+		out[ci] = cc
+		for _, v := range cc.VarMap {
+			full2sub[v] = -1
+		}
+	}
+	return out
+}
+
+// Lift scatters a component-space vector into a full-model vector (entries
+// outside the component are left untouched).
+func (cc *Component) Lift(sub, full []float64) {
+	if cc.VarMap == nil {
+		copy(full, sub)
+		return
+	}
+	for i, fv := range cc.VarMap {
+		full[fv] = sub[i]
+	}
+}
+
+// Restrict projects a full-model vector onto the component's variables. Nil
+// in, nil out.
+func (cc *Component) Restrict(full []float64) []float64 {
+	if full == nil {
+		return nil
+	}
+	if cc.VarMap == nil {
+		out := make([]float64, len(full))
+		copy(out, full)
+		return out
+	}
+	out := make([]float64, len(cc.VarMap))
+	for i, fv := range cc.VarMap {
+		out[i] = full[fv]
+	}
+	return out
+}
+
+// GreedyRound is the component-space analogue of Compiled.GreedyRound: it
+// rounds an LP relaxation point of the component model into an integral
+// candidate covering only this component's jobs. Safe for concurrent use,
+// like the full-model version, so each concurrent sub-solve can carry its
+// own heuristic.
+func (cc *Component) GreedyRound(x []float64) []float64 {
+	if cc.VarMap == nil {
+		return cc.parent.GreedyRound(x)
+	}
+	full := make([]float64, cc.parent.Model.NumVars())
+	cc.Lift(x, full)
+	fx := cc.parent.greedyRoundJobs(full, cc.Jobs)
+	if fx == nil {
+		return nil
+	}
+	return cc.Restrict(fx)
+}

@@ -1,0 +1,195 @@
+package compiler
+
+import (
+	"math"
+	"testing"
+
+	"tetrisched/internal/milp"
+	"tetrisched/internal/strl"
+)
+
+// blockJobs builds nBlocks disjoint 3-node blocks with two competing jobs
+// each (K=2 on 3 nodes forces a binding supply row, so jobs within a block
+// stay coupled while blocks never touch).
+func blockJobs(n, nBlocks int) []strl.Expr {
+	var jobs []strl.Expr
+	for b := 0; b < nBlocks; b++ {
+		blk := set(n, 3*b, 3*b+1, 3*b+2)
+		for j := 0; j < 2; j++ {
+			jobs = append(jobs, &strl.Max{Kids: []strl.Expr{
+				&strl.NCk{Set: blk, K: 2, Start: 0, Dur: 2, Value: 10},
+				&strl.NCk{Set: blk, K: 2, Start: 1, Dur: 2, Value: 8},
+				&strl.NCk{Set: blk, K: 2, Start: 2, Dur: 2, Value: 6},
+			}})
+		}
+	}
+	return jobs
+}
+
+// TestDecomposeDisjointBlocks is the acceptance-criterion detection test: a
+// batch of jobs over pairwise-disjoint equivalence sets must split into
+// exactly one component per block, each carrying its own jobs and a
+// consistently remapped sub-model.
+func TestDecomposeDisjointBlocks(t *testing.T) {
+	const nBlocks = 4
+	n := 3 * nBlocks
+	jobs := blockJobs(n, nBlocks)
+	c, err := Compile(jobs, Options{Universe: n, Horizon: 4})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	comps := c.Components()
+	if len(comps) != nBlocks {
+		t.Fatalf("got %d components, want %d", len(comps), nBlocks)
+	}
+	seen := make(map[int]bool)
+	for ci, cc := range comps {
+		if len(cc.Jobs) != 2 {
+			t.Errorf("component %d has jobs %v, want 2 jobs", ci, cc.Jobs)
+		}
+		for _, j := range cc.Jobs {
+			if seen[j] {
+				t.Errorf("job %d appears in more than one component", j)
+			}
+			seen[j] = true
+		}
+		if cc.VarMap == nil {
+			t.Fatalf("component %d of a decomposed batch has identity VarMap", ci)
+		}
+		if len(cc.VarMap) != cc.Model.NumVars() {
+			t.Fatalf("component %d: VarMap len %d != %d vars", ci, len(cc.VarMap), cc.Model.NumVars())
+		}
+		// The remap must preserve variable identity: same name, type, bounds,
+		// and objective as the parent variable it stands for.
+		for sv, fv := range cc.VarMap {
+			want := c.Model.Vars[fv]
+			got := cc.Model.Vars[sv]
+			if got != want {
+				t.Fatalf("component %d var %d: %+v != parent var %d %+v", ci, sv, got, fv, want)
+			}
+		}
+	}
+	if len(seen) != len(jobs) {
+		t.Errorf("components cover %d jobs, want %d", len(seen), len(jobs))
+	}
+}
+
+// TestDecomposeContendedBatchStaysWhole pins the zero-copy single-component
+// path: jobs coupled through a binding supply row must come back as one
+// component wrapping the original model.
+func TestDecomposeContendedBatchStaysWhole(t *testing.T) {
+	jobs := blockJobs(3, 1) // two jobs on the same 3-node block
+	c, err := Compile(jobs, Options{Universe: 3, Horizon: 4})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	comps := c.Components()
+	if len(comps) != 1 {
+		t.Fatalf("got %d components, want 1", len(comps))
+	}
+	if comps[0].Model != c.Model {
+		t.Error("single component should reuse the original model, not a copy")
+	}
+	if comps[0].VarMap != nil {
+		t.Error("single component should have the identity VarMap")
+	}
+	if len(comps[0].Jobs) != 2 {
+		t.Errorf("single component jobs = %v, want both", comps[0].Jobs)
+	}
+}
+
+// TestDecomposeSliceParity solves each component independently and checks the
+// lifted union is feasible for the full model with the same total objective
+// as the monolithic solve — decomposition must be lossless.
+func TestDecomposeSliceParity(t *testing.T) {
+	const nBlocks = 3
+	n := 3 * nBlocks
+	jobs := blockJobs(n, nBlocks)
+	c, err := Compile(jobs, Options{Universe: n, Horizon: 4})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	mono := solve(t, c)
+	comps := c.Components()
+	if len(comps) != nBlocks {
+		t.Fatalf("got %d components, want %d", len(comps), nBlocks)
+	}
+	full := make([]float64, c.Model.NumVars())
+	sum := 0.0
+	for ci, cc := range comps {
+		sub, err := milp.Solve(cc.Model, milp.Options{})
+		if err != nil {
+			t.Fatalf("component %d solve: %v", ci, err)
+		}
+		if sub.Status != milp.StatusOptimal {
+			t.Fatalf("component %d status = %v", ci, sub.Status)
+		}
+		sum += sub.Objective
+		cc.Lift(sub.Values, full)
+	}
+	if math.Abs(sum-mono.Objective) > 1e-6 {
+		t.Errorf("component objective sum %v != monolithic %v", sum, mono.Objective)
+	}
+	if !c.Model.IsFeasible(full, 1e-6) {
+		t.Error("lifted union of component optima is infeasible for the full model")
+	}
+	if got := c.Model.ObjectiveValue(full); math.Abs(got-mono.Objective) > 1e-6 {
+		t.Errorf("lifted union objective %v != monolithic %v", got, mono.Objective)
+	}
+}
+
+// TestDecomposeComponentGreedyRound checks the component-scoped heuristic
+// produces candidates in component variable space that the sub-model accepts.
+func TestDecomposeComponentGreedyRound(t *testing.T) {
+	const nBlocks = 3
+	n := 3 * nBlocks
+	c, err := Compile(blockJobs(n, nBlocks), Options{Universe: n, Horizon: 4})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for ci, cc := range c.Components() {
+		relax := make([]float64, cc.Model.NumVars()) // all-zero LP point
+		cand := cc.GreedyRound(relax)
+		if cand == nil {
+			t.Fatalf("component %d: GreedyRound returned nil", ci)
+		}
+		if len(cand) != cc.Model.NumVars() {
+			t.Fatalf("component %d: candidate has %d entries for %d vars", ci, len(cand), cc.Model.NumVars())
+		}
+		if !cc.Model.IsFeasible(cand, 1e-6) {
+			t.Errorf("component %d: greedy candidate infeasible for sub-model", ci)
+		}
+		if cc.Model.ObjectiveValue(cand) <= 0 {
+			t.Errorf("component %d: greedy candidate has non-positive objective", ci)
+		}
+	}
+}
+
+// TestDecomposeRestrictLiftRoundTrip pins the embedding algebra.
+func TestDecomposeRestrictLiftRoundTrip(t *testing.T) {
+	n := 6
+	c, err := Compile(blockJobs(n, 2), Options{Universe: n, Horizon: 4})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	comps := c.Components()
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	full := make([]float64, c.Model.NumVars())
+	for i := range full {
+		full[i] = float64(i) + 0.5
+	}
+	rebuilt := make([]float64, len(full))
+	for _, cc := range comps {
+		cc.Lift(cc.Restrict(full), rebuilt)
+	}
+	for i := range full {
+		if rebuilt[i] != full[i] {
+			t.Fatalf("var %d: restrict∘lift = %v, want %v", i, rebuilt[i], full[i])
+		}
+	}
+	if comps[0].Restrict(nil) != nil {
+		t.Error("Restrict(nil) should be nil")
+	}
+}

@@ -18,15 +18,31 @@ import (
 // shapes the STRL generator emits) are skipped; the solver re-validates the
 // returned point, so this is purely a heuristic.
 func (c *Compiled) GreedyRound(x []float64) []float64 {
+	return c.greedyRoundJobs(x, nil)
+}
+
+// greedyRoundJobs rounds on behalf of a subset of the batch's jobs (nil means
+// all of them); component sub-solves restrict the walk to their own jobs so a
+// candidate never claims capacity a different component's solve is entitled
+// to. x and the returned vector are in full-model variable space.
+func (c *Compiled) greedyRoundJobs(x []float64, jobs []int) []float64 {
 	// Remaining capacity ledger per (group, slice).
 	remain := make([][]int64, len(c.avail))
 	for g := range c.avail {
 		remain[g] = append([]int64(nil), c.avail[g]...)
 	}
 
+	if jobs == nil {
+		jobs = make([]int, len(c.jobs))
+		for i := range jobs {
+			jobs[i] = i
+		}
+	}
+
 	// Group leaves by job, keeping only greedy-roundable jobs.
 	perJob := make([][]*leafRecord, len(c.jobs))
-	for j, expr := range c.jobs {
+	for _, j := range jobs {
+		expr := c.jobs[j]
 		if !roundable(expr) {
 			continue
 		}
@@ -39,10 +55,7 @@ func (c *Compiled) GreedyRound(x []float64) []float64 {
 	}
 
 	// Job order: LP job-indicator value descending (stable on index).
-	order := make([]int, len(c.jobs))
-	for i := range order {
-		order[i] = i
-	}
+	order := append([]int(nil), jobs...)
 	sort.SliceStable(order, func(a, b int) bool {
 		return x[c.jobInd[order[a]]] > x[c.jobInd[order[b]]]
 	})

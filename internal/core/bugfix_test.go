@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"tetrisched/internal/bitset"
+	"tetrisched/internal/cluster"
+	"tetrisched/internal/sim"
+	"tetrisched/internal/workload"
+)
+
+// TestTruncatedJobsLoseStalePlanChoice pins the MaxBatch/lastJob interaction:
+// a job deferred in one cycle and truncated out of the batch in the next must
+// not keep its plan choice — the shift-by-one-slice warm-start assumption
+// only spans a single cycle, so a surviving entry would later be re-proposed
+// at a wrong slice.
+func TestTruncatedJobsLoseStalePlanChoice(t *testing.T) {
+	c := cluster.NewBuilder().AddRack("r0", 4, nil).Build()
+	sched := New(c, Config{CyclePeriod: 4, PlanAhead: 32, Gap: 0, MaxBatch: 1})
+	// A believed-running blocker keeps all nodes busy until t=8, so the
+	// pending job's only feasible start is a deferred slice.
+	blocker := &workload.Job{ID: 99, Class: workload.BestEffort, Type: workload.Unconstrained, K: 4, BaseRuntime: 100, Slowdown: 1}
+	sched.running[99] = &runInfo{job: blocker, nodes: []int{0, 1, 2, 3}, estEnd: 8}
+
+	idle := &workload.Job{ID: 0, Class: workload.BestEffort, Type: workload.Unconstrained, Submit: 0, K: 4, BaseRuntime: 8, Slowdown: 1}
+	sched.Submit(0, idle)
+	sched.Cycle(0, bitset.New(4))
+	if _, ok := sched.lastJob[idle.ID]; !ok {
+		t.Fatal("setup: cycle 0 should have deferred the job and recorded a plan choice")
+	}
+
+	// A higher-priority arrival fills the MaxBatch=1 batch at cycle 1,
+	// truncating the deferred job out.
+	urgent := &workload.Job{ID: 1, Class: workload.SLO, Reserved: true, Type: workload.Unconstrained, Submit: 4, K: 4, BaseRuntime: 8, Slowdown: 1, Deadline: 100}
+	sched.Submit(4, urgent)
+	sched.Cycle(4, bitset.New(4))
+	if pc, ok := sched.lastJob[idle.ID]; ok {
+		t.Errorf("truncated job kept stale plan choice %+v; it must be cleared", pc)
+	}
+}
+
+// TestPreemptRescueLaunchesOnFreeNodes pins the last-chance rescue path: when
+// an accepted SLO job at its final feasible start slice was missed by the
+// solver but is placeable from genuinely free nodes, the rescue must launch
+// it immediately — "the solver will get it next cycle" is a guaranteed miss,
+// because next cycle has no feasible start by definition.
+func TestPreemptRescueLaunchesOnFreeNodes(t *testing.T) {
+	c := cluster.NewBuilder().AddRack("r0", 4, nil).Build()
+	sched := New(c, Config{CyclePeriod: 4, PlanAhead: 16, Gap: 0, EnablePreemption: true})
+	// The scheduler believes a best-effort job owns the whole cluster far
+	// into the future (e.g. a stale overrun estimate), which culls every leaf
+	// in the compiled model — the solver cannot place anything. Ground truth
+	// disagrees: all nodes are actually free.
+	stale := &workload.Job{ID: 50, Class: workload.BestEffort, Type: workload.Unconstrained, K: 4, BaseRuntime: 1000, Slowdown: 1}
+	sched.running[50] = &runInfo{job: stale, nodes: []int{0, 1, 2, 3}, estEnd: 1000}
+
+	// Deadline 7 with runtime 4 leaves start slice 0 as the only option.
+	job := &workload.Job{ID: 1, Class: workload.SLO, Reserved: true, Type: workload.Unconstrained, Submit: 0, K: 2, BaseRuntime: 4, Slowdown: 1, Deadline: 7}
+	sched.Submit(0, job)
+	res := sched.Cycle(0, c.All())
+	if len(res.Decisions) != 1 || res.Decisions[0].Job.ID != job.ID {
+		t.Fatalf("decisions = %+v, want the last-chance SLO job launched on free nodes", res.Decisions)
+	}
+	if got := len(res.Decisions[0].Nodes); got != job.K {
+		t.Errorf("launched on %d nodes, want %d", got, job.K)
+	}
+	if len(res.Preempted) != 0 {
+		t.Errorf("preempted %d jobs; free nodes sufficed, no victims needed", len(res.Preempted))
+	}
+}
+
+// TestFailureRestartKeepsFIFOPosition pins orderedPending's FIFO-by-arrival
+// guarantee across requeues: a failure-killed job re-enters the pending queue
+// at the tail, but must still be scheduled before jobs that arrived after it.
+// The greedy (per-job, in-order) variant makes queue order decisive.
+func TestFailureRestartKeepsFIFOPosition(t *testing.T) {
+	c := cluster.NewBuilder().AddRack("r0", 1, nil).Build()
+	jobs := []*workload.Job{
+		{ID: 0, Class: workload.BestEffort, Type: workload.Unconstrained, Submit: 0, K: 1, BaseRuntime: 20, Slowdown: 1},
+		{ID: 1, Class: workload.BestEffort, Type: workload.Unconstrained, Submit: 8, K: 1, BaseRuntime: 20, Slowdown: 1},
+	}
+	sched := New(c, Config{Greedy: true, CyclePeriod: 4, PlanAhead: 16, Gap: 0})
+	res, err := sim.Run(sim.Config{
+		Cluster: c, Jobs: jobs, Scheduler: sched,
+		// Job 0 is killed mid-run and re-queued behind job 1; the node
+		// recovers between cycles.
+		Failures: []sim.NodeFailure{{Node: 0, At: 10, RecoverAt: 14}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats[0].FailureKills != 1 {
+		t.Fatalf("setup: job 0 FailureKills = %d, want 1", res.Stats[0].FailureKills)
+	}
+	if !res.Stats[0].Completed || !res.Stats[1].Completed {
+		t.Fatalf("both jobs should complete: %+v", res.Stats)
+	}
+	// FIFO within the best-effort class: job 0 (arrived t=0) restarts before
+	// job 1 (arrived t=8) runs, despite sitting behind it in the raw queue.
+	if res.Stats[0].Start >= res.Stats[1].Start {
+		t.Errorf("restarted job 0 started at %d, after the later arrival's %d; FIFO-by-arrival broken",
+			res.Stats[0].Start, res.Stats[1].Start)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"tetrisched/internal/cluster"
+	"tetrisched/internal/sim"
+	"tetrisched/internal/trace"
+	"tetrisched/internal/workload"
+)
+
+// TestDecomposeSchedulerSplitsDisjointDataJobs runs the full scheduler stack
+// over a workload that visibly separates: data-local jobs pinned to disjoint
+// replica sets whose remote fallback is culled by tight deadlines. The cycle
+// must decompose the global solve into independent sub-MILPs (visible in
+// SolveStats and per-component trace spans) and still meet every SLO.
+func TestDecomposeSchedulerSplitsDisjointDataJobs(t *testing.T) {
+	c := cluster.RC80(false)
+	tr := trace.New(1 << 12)
+	data := func(lo int) []int { return []int{lo, lo + 1, lo + 2, lo + 3} }
+	mk := func(id, lo int) *workload.Job {
+		// Local runtime 40 fits the deadline; the whole-cluster fallback runs
+		// 2× and cannot, so it is culled at generation and the job's leaves
+		// touch only its own replica set.
+		return &workload.Job{
+			ID: id, Class: workload.SLO, Type: workload.DataLocal, Submit: 0,
+			K: 2, BaseRuntime: 40, Slowdown: 2, Deadline: 50, DataNodes: data(lo),
+		}
+	}
+	jobs := []*workload.Job{mk(0, 0), mk(1, 0), mk(2, 40), mk(3, 40)}
+	sched := New(c, Config{PlanAhead: 40, Gap: 0, Tracer: tr})
+	res, err := sim.Run(sim.Config{Cluster: c, Jobs: jobs, Scheduler: sched, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Stats {
+		if !res.Stats[i].MetSLO() {
+			t.Errorf("job %d missed its SLO: %+v", i, res.Stats[i])
+		}
+	}
+	if sched.Stats.Decomposed < 1 {
+		t.Errorf("Decomposed = %d, want >= 1", sched.Stats.Decomposed)
+	}
+	if sched.Stats.Components < 2 {
+		t.Errorf("Components = %d, want >= 2", sched.Stats.Components)
+	}
+	spans := 0
+	for _, e := range tr.Snapshot() {
+		if e.Kind == trace.KindSpan && e.Name == "solve.component" {
+			spans++
+			var jobs, vars int64
+			for _, a := range e.Args[:e.NArg] {
+				switch a.Key {
+				case "jobs":
+					jobs = a.Int()
+				case "vars":
+					vars = a.Int()
+				}
+			}
+			if jobs < 1 || vars < 1 {
+				t.Errorf("component span missing size args: jobs=%d vars=%d", jobs, vars)
+			}
+		}
+	}
+	if spans < 2 {
+		t.Errorf("recorded %d solve.component spans, want >= 2", spans)
+	}
+}
+
+// TestDecomposeSingleComponentPathUnchanged: a contended batch must stay on
+// the monolithic path (no decomposed-solve accounting).
+func TestDecomposeSingleComponentPathUnchanged(t *testing.T) {
+	c := threeNodeCluster()
+	jobs := []*workload.Job{
+		{ID: 0, Class: workload.SLO, Type: workload.Unconstrained, Submit: 0, K: 2, BaseRuntime: 10, Slowdown: 1, Deadline: 10},
+		{ID: 1, Class: workload.SLO, Type: workload.Unconstrained, Submit: 0, K: 1, BaseRuntime: 20, Slowdown: 1, Deadline: 40},
+		{ID: 2, Class: workload.SLO, Type: workload.Unconstrained, Submit: 0, K: 3, BaseRuntime: 10, Slowdown: 1, Deadline: 20},
+	}
+	sched := New(c, Config{CyclePeriod: 10, PlanAhead: 40, Gap: 0})
+	if _, err := sim.Run(sim.Config{Cluster: c, Jobs: jobs, Scheduler: sched, CyclePeriod: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Stats.Decomposed != 0 || sched.Stats.Components != 0 {
+		t.Errorf("Fig 4 batch decomposed (%d solves, %d components); all three jobs share one contended cluster",
+			sched.Stats.Decomposed, sched.Stats.Components)
+	}
+}

@@ -134,6 +134,8 @@ type SolveStats struct {
 	ColdLPs    int           // LPs solved from scratch (incl. warm fallbacks)
 	Runtime    time.Duration // cumulative solver wall-clock
 	MaxSolve   time.Duration // slowest single solve
+	Decomposed int           // global solves that split into independent components
+	Components int           // sub-MILPs solved across all decomposed solves
 }
 
 // WarmHitRate returns the fraction of node LPs served warm from a parent
@@ -258,17 +260,24 @@ func priority(j *workload.Job) int {
 	}
 }
 
-// orderedPending returns pending jobs in priority-then-arrival order.
+// orderedPending returns pending jobs in priority-then-arrival order. Arrival
+// is the job's Submit time, not its position in s.pending: preemption victims
+// and failure restarts re-enter the queue at the tail, and ordering by queue
+// position would file an early-arriving restart behind later arrivals,
+// breaking the FIFO-within-class guarantee of §6.3. Ties (same class, same
+// Submit) break by job ID, which matches original submission order.
 func (s *Scheduler) orderedPending() []*workload.Job {
-	out := s.pending // insertion order reflects arrival
-	sorted := make([]*workload.Job, 0, len(out))
-	for class := 0; class <= 2; class++ {
-		for _, j := range out {
-			if priority(j) == class {
-				sorted = append(sorted, j)
-			}
+	sorted := append([]*workload.Job(nil), s.pending...)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		pa, pb := priority(sorted[a]), priority(sorted[b])
+		if pa != pb {
+			return pa < pb
 		}
-	}
+		if sorted[a].Submit != sorted[b].Submit {
+			return sorted[a].Submit < sorted[b].Submit
+		}
+		return sorted[a].ID < sorted[b].ID
+	})
 	return sorted
 }
 
@@ -345,6 +354,14 @@ func (s *Scheduler) Cycle(now int64, free *bitset.Set) sim.CycleResult {
 // globalCycle aggregates all pending requests into one MILP (§5).
 func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Request, res *sim.CycleResult) {
 	if len(reqs) > s.cfg.MaxBatch {
+		// Plan choices are valid for exactly one cycle (the shift-by-one-slice
+		// assumption), but the clear-and-re-record pass below only covers the
+		// batched requests. Jobs truncated out here would keep an entry whose
+		// slice is off by however many cycles they stay truncated, so age them
+		// out now rather than re-propose a wrong start later.
+		for _, r := range reqs[s.cfg.MaxBatch:] {
+			delete(s.lastJob, r.Job.ID)
+		}
 		reqs = reqs[:s.cfg.MaxBatch]
 	}
 	jobExprs := make([]strl.Expr, len(reqs))
@@ -402,17 +419,60 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 	for _, r := range reqs {
 		delete(s.lastJob, r.Job.ID)
 	}
-	solveSpan := s.tr.Begin("solve", "solve")
-	t0 := time.Now()
-	sol, err := milp.Solve(comp.Model, milp.Options{
+	// Decompose: jobs competing for disjoint node groups across the window
+	// form independent sub-MILPs that solve concurrently. Branch-and-bound is
+	// exponential in coupled model size, so the split shrinks search trees
+	// multiplicatively; seeds, heuristics, and trace spans are routed to the
+	// component owning each job.
+	comps := comp.Components()
+	mopts := milp.Options{
 		Gap:              s.cfg.Gap,
 		TimeLimit:        s.cfg.SolverTimeLimit,
 		Workers:          s.cfg.SolverWorkers,
 		Deterministic:    true,
-		InitialSolution:  seed,
-		Heuristic:        comp.GreedyRound,
 		DisableWarmStart: s.cfg.DisableWarmStart,
-	})
+	}
+	solveSpan := s.tr.Begin("solve", "solve")
+	t0 := time.Now()
+	var sol *milp.Solution
+	var failed []*strlgen.Request
+	if len(comps) > 1 {
+		parts := make([]milp.Part, len(comps))
+		for i, cc := range comps {
+			cc := cc
+			parts[i] = milp.Part{
+				Model:     cc.Model,
+				VarMap:    cc.VarMap,
+				Seed:      cc.Restrict(seed),
+				Heuristic: cc.GreedyRound,
+			}
+			if s.tr != nil {
+				parts[i].OnSolve = func() func(*milp.Solution) {
+					sp := s.tr.Begin("solve", "solve.component")
+					return func(ps *milp.Solution) { endComponentSpan(sp, cc, ps) }
+				}
+			}
+		}
+		var partSols []*milp.Solution
+		sol, partSols, err = milp.SolveParts(parts, comp.Model.NumVars(), mopts)
+		s.Stats.Decomposed++
+		s.Stats.Components += len(comps)
+		if err == nil {
+			// Components that produced no incumbent fall back individually;
+			// the solved components keep their decisions.
+			for i, ps := range partSols {
+				if ps == nil || ps.Values == nil {
+					for _, j := range comps[i].Jobs {
+						failed = append(failed, reqs[j])
+					}
+				}
+			}
+		}
+	} else {
+		mopts.InitialSolution = seed
+		mopts.Heuristic = comp.GreedyRound
+		sol, err = milp.Solve(comp.Model, mopts)
+	}
 	elapsed := time.Since(t0)
 	res.SolverLatency += elapsed
 	s.Stats.record(sol, seed != nil, elapsed)
@@ -450,9 +510,32 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 	}
 	extractSpan.End(trace.I("granted", int64(len(granted))),
 		trace.I("launched", int64(len(res.Decisions))))
+	if len(failed) > 0 {
+		// Sub-solves that returned nothing inside the shared budget degrade to
+		// greedy packing against whatever the solved components left free.
+		s.tr.Instant("solve", "fallback", trace.I("jobs", int64(len(failed))))
+		s.fallbackPackInto(now, working, failed, res)
+	}
 	if s.cfg.EnablePreemption {
 		s.preemptRescue(now, working, reqs, granted, res)
 	}
+}
+
+// endComponentSpan closes one component sub-solve's span with the component's
+// size and the sub-solution's telemetry.
+func endComponentSpan(sp trace.Span, cc *compiler.Component, sol *milp.Solution) {
+	if sol == nil {
+		sp.End(trace.S("status", "error"),
+			trace.I("jobs", int64(len(cc.Jobs))), trace.I("vars", int64(cc.Model.NumVars())))
+		return
+	}
+	sp.End(trace.S("status", sol.Status.String()),
+		trace.I("jobs", int64(len(cc.Jobs))),
+		trace.I("vars", int64(cc.Model.NumVars())),
+		trace.I("cons", int64(cc.Model.NumConstraints())),
+		trace.F("objective", sol.Objective),
+		trace.I("nodes", int64(sol.Nodes)),
+		trace.I("workers", int64(sol.Workers)))
 }
 
 // endSolveSpan closes a solve span with the solution's telemetry payload.
@@ -488,6 +571,9 @@ func (s *Scheduler) preemptRescue(now int64, working *bitset.Set, reqs []*strlge
 		if granted[j.ID] || priority(j) != 0 {
 			continue
 		}
+		if _, isRunning := s.running[j.ID]; isRunning {
+			continue // already launched this cycle by a fallback path
+		}
 		lastChance := true
 		for _, o := range req.Options {
 			if o.StartSlice > 0 {
@@ -503,7 +589,11 @@ func (s *Scheduler) preemptRescue(now int64, working *bitset.Set, reqs []*strlge
 			set := o.Leaf.Set
 			freeIn := set.IntersectCount(working)
 			if freeIn >= j.K {
-				break // placeable without preemption; solver will get it next cycle
+				// Placeable from free nodes alone. This is the job's last
+				// feasible start slice — waiting for the solver to pick it up
+				// next cycle guarantees a dead SLO — so launch directly.
+				s.launchFrom(now, j, set, working, o, res)
+				break
 			}
 			// Collect best-effort victims whose nodes intersect the set,
 			// youngest first (least progress wasted).
@@ -549,18 +639,24 @@ func (s *Scheduler) preemptRescue(now int64, working *bitset.Set, reqs []*strlge
 				}
 				s.pending = append(s.pending, v.job) // re-queue for restart
 			}
-			nodes := make([]int, 0, j.K)
-			set.Intersect(working).ForEach(func(n int) bool {
-				nodes = append(nodes, n)
-				return len(nodes) < j.K
-			})
-			for _, n := range nodes {
-				working.Remove(n)
-			}
-			s.launch(now, j, nodes, o, res)
+			s.launchFrom(now, j, set, working, o, res)
 			break
 		}
 	}
+}
+
+// launchFrom launches j on its first j.K free nodes within set, consuming
+// them from working.
+func (s *Scheduler) launchFrom(now int64, j *workload.Job, set, working *bitset.Set, o *strlgen.Option, res *sim.CycleResult) {
+	nodes := make([]int, 0, j.K)
+	set.Intersect(working).ForEach(func(n int) bool {
+		nodes = append(nodes, n)
+		return len(nodes) < j.K
+	})
+	for _, n := range nodes {
+		working.Remove(n)
+	}
+	s.launch(now, j, nodes, o, res)
 }
 
 // greedyCycle is TetriSched-NG: one MILP per job, highest priority first,
@@ -633,7 +729,13 @@ func (s *Scheduler) greedyCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 // start-now option; used only when the MILP solver returns no solution
 // within its budget.
 func (s *Scheduler) fallbackPack(now int64, free *bitset.Set, reqs []*strlgen.Request, res *sim.CycleResult) {
-	working := free.Clone()
+	s.fallbackPackInto(now, free.Clone(), reqs, res)
+}
+
+// fallbackPackInto is fallbackPack against a caller-owned working set, which
+// it consumes; the partial-failure path of a decomposed solve packs only the
+// failed components' jobs into the capacity the solved components left free.
+func (s *Scheduler) fallbackPackInto(now int64, working *bitset.Set, reqs []*strlgen.Request, res *sim.CycleResult) {
 	for _, req := range reqs {
 		var best *strlgen.Option
 		for _, o := range req.Options {

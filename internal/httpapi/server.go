@@ -127,6 +127,8 @@ type SolverStatusMsg struct {
 	Phase1          int     `json:"lp_phase1"`
 	WarmLPs         int     `json:"lp_warm_hits"`
 	ColdLPs         int     `json:"lp_cold_starts"`
+	Decomposed      int     `json:"decomposed_solves"`
+	Components      int     `json:"components"`
 	WarmHitRate     float64 `json:"lp_warm_hit_rate"`
 	MeanSolveMillis float64 `json:"mean_solve_millis"`
 	MaxSolveMillis  float64 `json:"max_solve_millis"`
@@ -347,6 +349,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			Workers: st.Workers, WarmStarts: st.WarmStarts,
 			LPIters: st.LPIters, Phase1: st.Phase1,
 			WarmLPs: st.WarmLPs, ColdLPs: st.ColdLPs,
+			Decomposed: st.Decomposed, Components: st.Components,
 			WarmHitRate:     st.WarmHitRate(),
 			MeanSolveMillis: ms(st.MeanSolve()),
 			MaxSolveMillis:  ms(st.MaxSolve),
@@ -422,6 +425,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("tetrisched_solver_lp_iterations_total", "Simplex pivots across all relaxations.", uint64(st.LPIters))
 		counter("tetrisched_solver_lp_warm_hits_total", "Node LPs re-solved warm from a parent basis.", uint64(st.WarmLPs))
 		counter("tetrisched_solver_lp_cold_starts_total", "LPs solved from scratch.", uint64(st.ColdLPs))
+		counter("tetrisched_solver_decomposed_total", "Global solves split into independent components.", uint64(st.Decomposed))
+		counter("tetrisched_solver_components_total", "Sub-MILPs solved across all decomposed solves.", uint64(st.Components))
 		gauge("tetrisched_solver_lp_warm_hit_rate", "Fraction of node LPs served warm.", st.WarmHitRate())
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -1,0 +1,201 @@
+package milp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Part is one independent sub-model of a decomposed MILP. The sub-models of
+// one SolveParts call must reference pairwise-disjoint slices of the original
+// variable space; VarMap carries the embedding.
+type Part struct {
+	// Model is the sub-model to solve.
+	Model *Model
+	// VarMap maps the sub-model's variable index to the full model's. Nil
+	// means identity (the part covers a prefix of the full variable space —
+	// in practice, the single-part case where Model is the full model).
+	VarMap []int
+	// Seed, if non-nil and feasible, seeds the part's incumbent
+	// (Options.InitialSolution, in the part's own variable space).
+	Seed []float64
+	// Heuristic is the part's incumbent heuristic (Options.Heuristic, in the
+	// part's own variable space).
+	Heuristic func(relaxation []float64) []float64
+	// OnSolve, if non-nil, is invoked in the part's solver goroutine just
+	// before its solve begins; the returned function is invoked with the
+	// part's solution (nil on solver error) when it ends. Callers use it to
+	// open and close per-part trace spans with correct timing.
+	OnSolve func() func(*Solution)
+}
+
+// SolveParts solves the independent parts of a decomposed model concurrently
+// and merges the results as if a single Solve had run on the full model:
+//
+//   - Values is a full-length vector (fullVars entries) scattered from the
+//     part solutions through their VarMaps; variables of parts that produced
+//     no solution stay zero.
+//   - Objective and Bound are sums over the parts that produced values (a
+//     failed part contributes no bound, so Bound is only proven relative to
+//     the solved parts).
+//   - Nodes, LP telemetry, and Runtime are sums over every part that ran —
+//     Runtime is therefore aggregate solver effort, not wall-clock, which is
+//     roughly Runtime divided by the parts solved concurrently.
+//   - Workers is the largest per-part worker count.
+//
+// Options apply per part: every part shares the Gap, TimeLimit, and MaxNodes
+// budgets (parts run concurrently, so a shared TimeLimit bounds the whole
+// decomposed solve's wall-clock), while Workers is apportioned across parts
+// largest-first by integer-variable count, every part getting at least one.
+//
+// Status merging: any infeasible or unbounded part makes the whole solve
+// infeasible/unbounded (Values nil — the full model has no solution); else if
+// every part proved optimality the merge is optimal; else feasible when at
+// least one part returned values, and no-solution when none did.
+//
+// The returned slice holds each part's own Solution (nil where the part's
+// Solve returned an error), for callers that need to know which parts failed.
+func SolveParts(parts []Part, fullVars int, opts Options) (*Solution, []*Solution, error) {
+	if len(parts) == 0 {
+		return nil, nil, fmt.Errorf("milp: SolveParts requires at least one part")
+	}
+	for i := range parts {
+		p := &parts[i]
+		if p.Model == nil {
+			return nil, nil, fmt.Errorf("milp: part %d has no model", i)
+		}
+		if p.VarMap == nil {
+			if p.Model.NumVars() > fullVars {
+				return nil, nil, fmt.Errorf("milp: part %d has %d vars for a %d-var full model", i, p.Model.NumVars(), fullVars)
+			}
+			continue
+		}
+		if len(p.VarMap) != p.Model.NumVars() {
+			return nil, nil, fmt.Errorf("milp: part %d VarMap has %d entries for %d vars", i, len(p.VarMap), p.Model.NumVars())
+		}
+		for _, fv := range p.VarMap {
+			if fv < 0 || fv >= fullVars {
+				return nil, nil, fmt.Errorf("milp: part %d VarMap entry %d out of range [0,%d)", i, fv, fullVars)
+			}
+		}
+	}
+
+	weights := make([]int, len(parts))
+	for i := range parts {
+		weights[i] = parts[i].Model.NumIntVars()
+	}
+	assign := apportionWorkers(opts.effectiveWorkers(), weights)
+
+	sols := make([]*Solution, len(parts))
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			po := opts
+			po.Workers = assign[i]
+			po.InitialSolution = parts[i].Seed
+			po.Heuristic = parts[i].Heuristic
+			var done func(*Solution)
+			if parts[i].OnSolve != nil {
+				done = parts[i].OnSolve()
+			}
+			sol, err := Solve(parts[i].Model, po)
+			if err == nil {
+				sols[i] = sol
+			}
+			if done != nil {
+				done(sols[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	return mergeParts(parts, sols, fullVars), sols, nil
+}
+
+// apportionWorkers splits total workers across parts proportionally to their
+// weights, largest-first: every part gets one worker, then the remainder goes
+// one at a time to the part with the highest weight-to-assignment ratio
+// (D'Hondt), ties to the lower index. Deterministic in its inputs.
+func apportionWorkers(total int, weights []int) []int {
+	n := len(weights)
+	assign := make([]int, n)
+	w := make([]int, n)
+	for i := range assign {
+		assign[i] = 1
+		w[i] = weights[i]
+		if w[i] < 1 {
+			w[i] = 1
+		}
+	}
+	for rem := total - n; rem > 0; rem-- {
+		best := 0
+		for i := 1; i < n; i++ {
+			// w[i]/assign[i] > w[best]/assign[best], cross-multiplied.
+			if w[i]*assign[best] > w[best]*assign[i] {
+				best = i
+			}
+		}
+		assign[best]++
+	}
+	return assign
+}
+
+// mergeParts folds per-part solutions into one full-model Solution; see
+// SolveParts for the merge semantics.
+func mergeParts(parts []Part, sols []*Solution, fullVars int) *Solution {
+	merged := &Solution{}
+	succeeded, optimal, infeasible, unbounded := 0, 0, false, false
+	for i, sol := range sols {
+		if sol == nil {
+			continue
+		}
+		merged.Nodes += sol.Nodes
+		merged.LP.add(&sol.LP)
+		merged.Runtime += sol.Runtime
+		if sol.Workers > merged.Workers {
+			merged.Workers = sol.Workers
+		}
+		switch sol.Status {
+		case StatusInfeasible:
+			infeasible = true
+			continue
+		case StatusUnbounded:
+			unbounded = true
+			continue
+		}
+		if sol.Values == nil {
+			continue
+		}
+		succeeded++
+		if sol.Status == StatusOptimal {
+			optimal++
+		}
+		merged.Objective += sol.Objective
+		merged.Bound += sol.Bound
+		if merged.Values == nil {
+			merged.Values = make([]float64, fullVars)
+		}
+		if parts[i].VarMap == nil {
+			copy(merged.Values, sol.Values)
+		} else {
+			for si, fv := range parts[i].VarMap {
+				merged.Values[fv] = sol.Values[si]
+			}
+		}
+	}
+	switch {
+	case infeasible:
+		merged.Status = StatusInfeasible
+		merged.Values = nil
+	case unbounded:
+		merged.Status = StatusUnbounded
+		merged.Values = nil
+	case succeeded == 0:
+		merged.Status = StatusNoSolution
+	case optimal == len(parts):
+		merged.Status = StatusOptimal
+	default:
+		merged.Status = StatusFeasible
+	}
+	return merged
+}

@@ -1,0 +1,269 @@
+package milp
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// knapsack builds a tiny 0/1 model: maximize Σ value_i·x_i subject to
+// Σ weight_i·x_i ≤ cap.
+func knapsack(values, weights []float64, cap float64) *Model {
+	m := NewModel(Maximize)
+	terms := make([]Term, len(values))
+	for i, v := range values {
+		id := m.AddBinary("", v)
+		terms[i] = Term{Var: id, Coef: weights[i]}
+	}
+	m.AddConstraint("cap", terms, LE, cap)
+	return m
+}
+
+func seqVarMap(lo, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+// TestDecomposeSolvePartsMatchesIndependentSolves is the stats-merging
+// acceptance test: the merged Solution's Values, Objective, Bound, Nodes, LP
+// telemetry, and Runtime must equal the per-part solutions combined.
+func TestDecomposeSolvePartsMatchesIndependentSolves(t *testing.T) {
+	models := []*Model{
+		knapsack([]float64{5, 4, 3}, []float64{2, 3, 1}, 4),
+		knapsack([]float64{7, 1}, []float64{1, 1}, 1),
+		knapsack([]float64{2, 2, 2, 2}, []float64{1, 1, 1, 1}, 2),
+	}
+	fullVars := 0
+	parts := make([]Part, len(models))
+	for i, m := range models {
+		parts[i] = Part{Model: m, VarMap: seqVarMap(fullVars, m.NumVars())}
+		fullVars += m.NumVars()
+	}
+	merged, sols, err := SolveParts(parts, fullVars, Options{Workers: 2, Deterministic: true})
+	if err != nil {
+		t.Fatalf("SolveParts: %v", err)
+	}
+	if merged.Status != StatusOptimal {
+		t.Fatalf("merged status = %v, want optimal", merged.Status)
+	}
+	if len(merged.Values) != fullVars {
+		t.Fatalf("merged values len %d, want %d", len(merged.Values), fullVars)
+	}
+	var obj, bound float64
+	var nodes int
+	var iters int64
+	var warm, cold int
+	for i, sol := range sols {
+		if sol == nil {
+			t.Fatalf("part %d solution is nil", i)
+		}
+		if sol.Status != StatusOptimal {
+			t.Fatalf("part %d status = %v", i, sol.Status)
+		}
+		obj += sol.Objective
+		bound += sol.Bound
+		nodes += sol.Nodes
+		iters += sol.LP.Iterations
+		warm += sol.LP.WarmHits
+		cold += sol.LP.ColdStarts
+		lo := parts[i].VarMap[0]
+		for si, v := range sol.Values {
+			if merged.Values[lo+si] != v {
+				t.Fatalf("part %d var %d: merged %v != part %v", i, si, merged.Values[lo+si], v)
+			}
+		}
+		// Each part must also agree with a direct Solve of its model.
+		direct, err := Solve(parts[i].Model, Options{Deterministic: true})
+		if err != nil {
+			t.Fatalf("direct solve %d: %v", i, err)
+		}
+		if math.Abs(direct.Objective-sol.Objective) > 1e-9 {
+			t.Errorf("part %d objective %v != direct %v", i, sol.Objective, direct.Objective)
+		}
+	}
+	if math.Abs(merged.Objective-obj) > 1e-9 || math.Abs(merged.Bound-bound) > 1e-9 {
+		t.Errorf("merged obj/bound = %v/%v, want sums %v/%v", merged.Objective, merged.Bound, obj, bound)
+	}
+	if merged.Nodes != nodes {
+		t.Errorf("merged nodes = %d, want sum %d", merged.Nodes, nodes)
+	}
+	if merged.LP.Iterations != iters || merged.LP.WarmHits != warm || merged.LP.ColdStarts != cold {
+		t.Errorf("merged LP stats %+v, want sums iters=%d warm=%d cold=%d", merged.LP, iters, warm, cold)
+	}
+	var runtime int64
+	for _, sol := range sols {
+		runtime += int64(sol.Runtime)
+	}
+	if int64(merged.Runtime) != runtime {
+		t.Errorf("merged runtime %v != sum of part runtimes %v", merged.Runtime, runtime)
+	}
+}
+
+// TestDecomposeDeterministicAcrossRuns: repeated decomposed solves of the
+// same parts return byte-identical merged values.
+func TestDecomposeDeterministicAcrossRuns(t *testing.T) {
+	build := func() ([]Part, int) {
+		models := []*Model{
+			knapsack([]float64{5, 4, 3, 2}, []float64{2, 3, 1, 2}, 4),
+			knapsack([]float64{7, 1, 4}, []float64{1, 1, 2}, 2),
+		}
+		fullVars := 0
+		parts := make([]Part, len(models))
+		for i, m := range models {
+			parts[i] = Part{Model: m, VarMap: seqVarMap(fullVars, m.NumVars())}
+			fullVars += m.NumVars()
+		}
+		return parts, fullVars
+	}
+	parts, fullVars := build()
+	first, _, err := SolveParts(parts, fullVars, Options{Workers: 3, Deterministic: true})
+	if err != nil {
+		t.Fatalf("SolveParts: %v", err)
+	}
+	for run := 0; run < 5; run++ {
+		parts, fullVars := build()
+		again, _, err := SolveParts(parts, fullVars, Options{Workers: 3, Deterministic: true})
+		if err != nil {
+			t.Fatalf("SolveParts run %d: %v", run, err)
+		}
+		if !reflect.DeepEqual(first.Values, again.Values) {
+			t.Fatalf("run %d: values diverged\n%v\n%v", run, first.Values, again.Values)
+		}
+	}
+}
+
+// TestDecomposeApportionWorkers pins the largest-first worker split.
+func TestDecomposeApportionWorkers(t *testing.T) {
+	cases := []struct {
+		total   int
+		weights []int
+		want    []int
+	}{
+		{1, []int{10, 1}, []int{1, 1}},      // floor: everyone gets one
+		{2, []int{10, 1}, []int{1, 1}},      // nothing left after the floor
+		{4, []int{4, 2, 1}, []int{2, 1, 1}}, // extra goes largest-first
+		{8, []int{4, 2, 1}, []int{5, 2, 1}}, // D'Hondt rounds, ties to lower index
+		{6, []int{3, 3}, []int{3, 3}},       // equal weights split evenly
+		{5, []int{0, 0, 0}, []int{2, 2, 1}}, // zero weights clamp to 1 and spread
+	}
+	for _, tc := range cases {
+		got := apportionWorkers(tc.total, tc.weights)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("apportionWorkers(%d, %v) = %v, want %v", tc.total, tc.weights, got, tc.want)
+		}
+	}
+}
+
+// TestDecomposeMergePartialFailure pins the partial-failure semantics: a part
+// with no solution leaves its variables zero and degrades the merged status
+// to feasible, while the surviving parts' stats still aggregate.
+func TestDecomposeMergePartialFailure(t *testing.T) {
+	m1 := knapsack([]float64{5}, []float64{1}, 1)
+	m2 := knapsack([]float64{3}, []float64{1}, 1)
+	s1, err := Solve(m1, Options{})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	parts := []Part{
+		{Model: m1, VarMap: []int{0}},
+		{Model: m2, VarMap: []int{1}},
+	}
+	merged := mergeParts(parts, []*Solution{s1, nil}, 2)
+	if merged.Status != StatusFeasible {
+		t.Fatalf("merged status = %v, want feasible", merged.Status)
+	}
+	if merged.Values == nil || merged.Values[0] != 1 || merged.Values[1] != 0 {
+		t.Fatalf("merged values = %v, want [1 0]", merged.Values)
+	}
+	if math.Abs(merged.Objective-5) > 1e-9 || merged.Nodes != s1.Nodes {
+		t.Errorf("merged obj/nodes = %v/%d, want 5/%d", merged.Objective, merged.Nodes, s1.Nodes)
+	}
+}
+
+// TestDecomposeInfeasiblePartPoisonsMerge: the full model is infeasible iff
+// any part is, and an infeasible merge must not hand back partial values.
+func TestDecomposeInfeasiblePartPoisonsMerge(t *testing.T) {
+	bad := NewModel(Maximize)
+	x := bad.AddBinary("x", 1)
+	bad.AddConstraint("impossible", []Term{{Var: x, Coef: 1}}, GE, 2)
+	parts := []Part{
+		{Model: knapsack([]float64{5}, []float64{1}, 1), VarMap: []int{0}},
+		{Model: bad, VarMap: []int{1}},
+	}
+	merged, _, err := SolveParts(parts, 2, Options{})
+	if err != nil {
+		t.Fatalf("SolveParts: %v", err)
+	}
+	if merged.Status != StatusInfeasible {
+		t.Fatalf("merged status = %v, want infeasible", merged.Status)
+	}
+	if merged.Values != nil {
+		t.Fatalf("infeasible merge returned values %v", merged.Values)
+	}
+}
+
+// TestDecomposeSeedAndHooksRouted: per-part seeds reach the sub-solver and
+// OnSolve wraps each part's solve exactly once, in its goroutine.
+func TestDecomposeSeedAndHooksRouted(t *testing.T) {
+	models := []*Model{
+		knapsack([]float64{5, 4}, []float64{2, 3}, 4),
+		knapsack([]float64{7, 1}, []float64{1, 1}, 1),
+	}
+	var mu sync.Mutex
+	began, ended := 0, 0
+	parts := make([]Part, len(models))
+	fullVars := 0
+	for i, m := range models {
+		parts[i] = Part{
+			Model:  m,
+			VarMap: seqVarMap(fullVars, m.NumVars()),
+			Seed:   make([]float64, m.NumVars()), // all-zero: feasible incumbent
+			OnSolve: func() func(*Solution) {
+				mu.Lock()
+				began++
+				mu.Unlock()
+				return func(sol *Solution) {
+					mu.Lock()
+					defer mu.Unlock()
+					ended++
+					if sol == nil || sol.Status != StatusOptimal {
+						t.Errorf("hook saw solution %+v, want optimal", sol)
+					}
+				}
+			},
+		}
+		fullVars += m.NumVars()
+	}
+	merged, _, err := SolveParts(parts, fullVars, Options{Deterministic: true})
+	if err != nil {
+		t.Fatalf("SolveParts: %v", err)
+	}
+	if merged.Status != StatusOptimal {
+		t.Fatalf("merged status = %v", merged.Status)
+	}
+	if began != len(parts) || ended != len(parts) {
+		t.Errorf("hooks ran begin=%d end=%d, want %d each", began, ended, len(parts))
+	}
+}
+
+// TestDecomposeValidation: structural input errors are reported, not solved
+// around.
+func TestDecomposeValidation(t *testing.T) {
+	m := knapsack([]float64{1}, []float64{1}, 1)
+	if _, _, err := SolveParts(nil, 1, Options{}); err == nil {
+		t.Error("empty parts should error")
+	}
+	if _, _, err := SolveParts([]Part{{Model: m, VarMap: []int{0, 1}}}, 2, Options{}); err == nil {
+		t.Error("VarMap length mismatch should error")
+	}
+	if _, _, err := SolveParts([]Part{{Model: m, VarMap: []int{5}}}, 2, Options{}); err == nil {
+		t.Error("out-of-range VarMap should error")
+	}
+	if _, _, err := SolveParts([]Part{{VarMap: []int{0}}}, 1, Options{}); err == nil {
+		t.Error("nil model should error")
+	}
+}

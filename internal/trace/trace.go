@@ -93,6 +93,31 @@ func B(key string, v bool) Arg {
 	return a
 }
 
+// Int returns the integer payload (0 for non-integer args). Bool args read
+// as 0/1.
+func (a Arg) Int() int64 {
+	if a.kind == argInt || a.kind == argBool {
+		return a.i
+	}
+	return 0
+}
+
+// Float returns the float payload (0 for non-float args).
+func (a Arg) Float() float64 {
+	if a.kind == argFloat {
+		return a.f
+	}
+	return 0
+}
+
+// Str returns the string payload ("" for non-string args).
+func (a Arg) Str() string {
+	if a.kind == argStr {
+		return a.s
+	}
+	return ""
+}
+
 // MaxArgs is the per-event payload capacity; extra args are dropped.
 const MaxArgs = 8
 

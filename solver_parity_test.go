@@ -1,7 +1,9 @@
 package tetrisched
 
 import (
+	"math"
 	"math/rand"
+	"reflect"
 	"runtime"
 	"testing"
 
@@ -192,3 +194,166 @@ func BenchmarkBatchedSolve48Serial(b *testing.B) { benchBatchedSolve(b, 48, 1) }
 func BenchmarkBatchedSolve48Parallel(b *testing.B) {
 	benchBatchedSolve(b, 48, runtime.GOMAXPROCS(0))
 }
+
+// decomposableModel compiles a batch that provably splits: nBlocks disjoint
+// node blocks with jobsPer jobs each, every job a Max over deferred starts on
+// its own block. Blocks never share capacity, so Components() must return at
+// least nBlocks sub-models (more when light per-block contention drops supply
+// rows and decouples jobs further).
+func decomposableModel(tb testing.TB, nBlocks, jobsPer int, seed int64) *compiler.Compiled {
+	tb.Helper()
+	const horizon = 8
+	r := rand.New(rand.NewSource(seed))
+	blockSize := 6 + r.Intn(6)
+	nodes := nBlocks * blockSize
+	var exprs []strl.Expr
+	for blk := 0; blk < nBlocks; blk++ {
+		set := bitset.New(nodes)
+		for n := blk * blockSize; n < (blk+1)*blockSize; n++ {
+			set.Add(n)
+		}
+		for j := 0; j < jobsPer; j++ {
+			k := 1 + r.Intn(blockSize)
+			dur := int64(1 + r.Intn(3))
+			value := 1 + r.Float64()*9
+			stride := int64(1 + r.Intn(2))
+			var kids []strl.Expr
+			for s := int64(0); s+dur <= horizon; s += stride {
+				v := value * (1 - float64(s)/float64(2*horizon))
+				kids = append(kids, &strl.NCk{Set: set, K: k, Start: s, Dur: dur, Value: v})
+			}
+			exprs = append(exprs, &strl.Max{Kids: kids})
+		}
+	}
+	comp, err := compiler.Compile(exprs, compiler.Options{Universe: nodes, Horizon: horizon})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return comp
+}
+
+// componentParts wraps a compiled batch's components as milp.Parts.
+func componentParts(comps []*compiler.Component) []milp.Part {
+	parts := make([]milp.Part, len(comps))
+	for i, cc := range comps {
+		parts[i] = milp.Part{Model: cc.Model, VarMap: cc.VarMap, Heuristic: cc.GreedyRound}
+	}
+	return parts
+}
+
+// TestDecompositionParityProperty is the property test of the decomposition
+// acceptance criteria: across ≥200 seeded random decomposable instances, the
+// monolithic and decomposed solves must agree on objective within the
+// configured gap, merged telemetry must equal the sum over components, the
+// merged point must be feasible for the full model, and repeated
+// deterministic decomposed solves must return byte-identical decisions.
+func TestDecompositionParityProperty(t *testing.T) {
+	const instances = 220
+	for i := 0; i < instances; i++ {
+		seed := int64(1000 + i)
+		r := rand.New(rand.NewSource(seed))
+		nBlocks := 2 + r.Intn(3)
+		jobsPer := 1 + r.Intn(3)
+		comp := decomposableModel(t, nBlocks, jobsPer, seed)
+		gap := 0.0
+		if i%3 == 1 {
+			gap = 0.1
+		}
+		opts := milp.Options{Gap: gap, Workers: 2, Deterministic: true}
+
+		monoOpts := opts
+		monoOpts.Heuristic = comp.GreedyRound
+		mono, err := milp.Solve(comp.Model, monoOpts)
+		if err != nil {
+			t.Fatalf("seed %d: monolithic solve: %v", seed, err)
+		}
+
+		comps := comp.Components()
+		if len(comps) < nBlocks {
+			t.Fatalf("seed %d: %d components for %d disjoint blocks", seed, len(comps), nBlocks)
+		}
+		merged, partSols, err := milp.SolveParts(componentParts(comps), comp.Model.NumVars(), opts)
+		if err != nil {
+			t.Fatalf("seed %d: decomposed solve: %v", seed, err)
+		}
+		if merged.Values == nil {
+			t.Fatalf("seed %d: decomposed solve returned no values (status %v)", seed, merged.Status)
+		}
+
+		// Objective parity within the configured gap: each side is within gap
+		// of the true optimum, and obj ≤ OPT ≤ max(obj)/(1−gap).
+		tol := 1e-6
+		if gap > 0 {
+			tol += gap / (1 - gap) * math.Max(math.Abs(mono.Objective), math.Abs(merged.Objective))
+		}
+		if diff := math.Abs(mono.Objective - merged.Objective); diff > tol {
+			t.Errorf("seed %d (gap %.2f): monolithic %.9f vs decomposed %.9f differ by %.9f > %.9f",
+				seed, gap, mono.Objective, merged.Objective, diff, tol)
+		}
+		if !comp.Model.IsFeasible(merged.Values, 1e-6) {
+			t.Errorf("seed %d: merged decomposed point infeasible for the full model", seed)
+		}
+
+		// Merged telemetry equals the sum over components.
+		var nodes int
+		var iters int64
+		var warm, cold int
+		var runtime int64
+		for ci, ps := range partSols {
+			if ps == nil {
+				t.Fatalf("seed %d: component %d failed", seed, ci)
+			}
+			nodes += ps.Nodes
+			iters += ps.LP.Iterations
+			warm += ps.LP.WarmHits
+			cold += ps.LP.ColdStarts
+			runtime += int64(ps.Runtime)
+		}
+		if merged.Nodes != nodes || merged.LP.Iterations != iters ||
+			merged.LP.WarmHits != warm || merged.LP.ColdStarts != cold ||
+			int64(merged.Runtime) != runtime {
+			t.Errorf("seed %d: merged stats (nodes=%d iters=%d warm=%d cold=%d runtime=%d) != part sums (%d %d %d %d %d)",
+				seed, merged.Nodes, merged.LP.Iterations, merged.LP.WarmHits, merged.LP.ColdStarts, int64(merged.Runtime),
+				nodes, iters, warm, cold, runtime)
+		}
+
+		// Deterministic decomposed solves return byte-identical decisions.
+		if i%8 == 0 {
+			again, _, err := milp.SolveParts(componentParts(comp.Components()), comp.Model.NumVars(), opts)
+			if err != nil {
+				t.Fatalf("seed %d: repeat decomposed solve: %v", seed, err)
+			}
+			if !reflect.DeepEqual(merged.Values, again.Values) {
+				t.Errorf("seed %d: deterministic decomposed runs diverged", seed)
+			}
+		}
+	}
+}
+
+// benchComponentSolve measures the same decomposable 12-job instance solved
+// as one coupled MILP vs. split into its components — the multiplicative
+// search-tree shrink the decomposition exists for.
+func benchComponentSolve(b *testing.B, split bool) {
+	comp := decomposableModel(b, 4, 3, 7)
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if split {
+			merged, _, err := milp.SolveParts(componentParts(comp.Components()), comp.Model.NumVars(),
+				milp.Options{Gap: 0.1, Workers: workers, Deterministic: true})
+			if err != nil || merged.Values == nil {
+				b.Fatalf("decomposed solve failed: %v (%v)", err, merged)
+			}
+		} else {
+			sol, err := milp.Solve(comp.Model, milp.Options{
+				Gap: 0.1, Workers: workers, Deterministic: true, Heuristic: comp.GreedyRound,
+			})
+			if err != nil || sol.Values == nil {
+				b.Fatalf("monolithic solve failed: %v", err)
+			}
+		}
+	}
+}
+
+func BenchmarkBatchedSolveComponentsMono(b *testing.B)  { benchComponentSolve(b, false) }
+func BenchmarkBatchedSolveComponentsSplit(b *testing.B) { benchComponentSolve(b, true) }
