@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test test-short race bench bench-all cover experiments experiments-quick examples clean
+.PHONY: all verify build vet test test-short race bench bench-all bench-smoke cover experiments experiments-quick examples clean
 
 all: build vet test race
 
@@ -37,6 +37,11 @@ bench:
 # Every benchmark in the repo (reduced-scale paper tables/figures included).
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# Bench-rot smoke: run every benchmark exactly once so benchmark code cannot
+# silently stop compiling or start crashing. Fast enough for CI.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 cover:
 	$(GO) test -cover ./internal/...

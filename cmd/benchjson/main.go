@@ -6,6 +6,13 @@
 // Usage:
 //
 //	go test -run='^$' -bench=... -benchmem -count=6 . | go run ./cmd/benchjson -o BENCH_milp.json
+//
+// With -compare, the aggregated stdin run is diffed against a committed
+// baseline instead of written: per-benchmark mean ns/op deltas are printed
+// and the exit status is non-zero when any benchmark regressed beyond
+// -threshold (relative, default +10%):
+//
+//	go test -run='^$' -bench=... -benchmem -count=6 . | go run ./cmd/benchjson -compare BENCH_milp.json
 package main
 
 import (
@@ -13,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -48,14 +56,58 @@ type report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline report to diff against; prints ns/op deltas instead of writing JSON")
+	threshold := flag.Float64("threshold", 0.10, "relative mean ns/op regression that fails -compare (0.10 = +10%)")
 	flag.Parse()
 
+	rep, err := buildReport(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *compare != "" {
+		buf, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var base report
+		if err := json.Unmarshal(buf, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", *compare, err)
+			os.Exit(1)
+		}
+		if compareReports(&base, &rep, *threshold, os.Stdout) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+}
+
+// buildReport aggregates `go test -bench` output from r into a report,
+// echoing every line to echo so the run stays visible.
+func buildReport(r io.Reader, echo io.Writer) (report, error) {
 	rep := report{Date: time.Now().UTC().Format(time.RFC3339)}
 	samples := map[string][]sample{}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line) // pass through so the run stays visible
+		fmt.Fprintln(echo, line)
 		switch {
 		case strings.HasPrefix(line, "goos:"):
 			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
@@ -71,12 +123,10 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
-		os.Exit(1)
+		return rep, fmt.Errorf("read: %v", err)
 	}
 	if len(samples) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
+		return rep, fmt.Errorf("no benchmark lines on stdin")
 	}
 
 	names := make([]string, 0, len(samples))
@@ -100,21 +150,41 @@ func main() {
 		}
 		rep.Benchmarks = append(rep.Benchmarks, sum)
 	}
+	return rep, nil
+}
 
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
-		os.Exit(1)
+// compareReports prints each current benchmark's mean ns/op against the
+// baseline and reports whether any regressed beyond threshold. Benchmarks
+// only one side ran are noted but never fail the comparison.
+func compareReports(base, cur *report, threshold float64, w io.Writer) (regressed bool) {
+	baseline := make(map[string]summary, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
 	}
-	buf = append(buf, '\n')
-	if *out == "" {
-		os.Stdout.Write(buf)
-		return
+	fmt.Fprintf(w, "\nbaseline %s vs current run (threshold %+.1f%%):\n", base.Date, 100*threshold)
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, c := range cur.Benchmarks {
+		seen[c.Name] = true
+		b, ok := baseline[c.Name]
+		if !ok || b.NsPerOpMean <= 0 {
+			fmt.Fprintf(w, "  %-40s %12.0f ns/op  (new, no baseline)\n", c.Name, c.NsPerOpMean)
+			continue
+		}
+		delta := (c.NsPerOpMean - b.NsPerOpMean) / b.NsPerOpMean
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(w, "  %-40s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n",
+			c.Name, b.NsPerOpMean, c.NsPerOpMean, 100*delta, verdict)
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", *out, err)
-		os.Exit(1)
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Fprintf(w, "  %-40s %12.0f ns/op  (in baseline, not run)\n", b.Name, b.NsPerOpMean)
+		}
 	}
+	return regressed
 }
 
 // parseBenchLine parses one "BenchmarkName-8  N  123 ns/op  45 B/op  6 allocs/op"

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+cpu: Fake CPU @ 2.00GHz
+BenchmarkBatchedSolve24Serial-4   	    1000	    180000 ns/op	   50000 B/op	     400 allocs/op
+BenchmarkBatchedSolve24Serial-4   	    1000	    200000 ns/op	   50000 B/op	     400 allocs/op
+BenchmarkBatchedSolve48Serial-4   	     500	    600000 ns/op	  120000 B/op	     900 allocs/op
+PASS
+`
+
+func TestBuildReport(t *testing.T) {
+	rep, err := buildReport(strings.NewReader(benchOutput), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "Fake CPU @ 2.00GHz" {
+		t.Errorf("environment lines misparsed: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b24 := rep.Benchmarks[0]
+	if b24.Name != "BenchmarkBatchedSolve24Serial" || b24.Runs != 2 {
+		t.Errorf("first summary = %+v", b24)
+	}
+	if b24.NsPerOpMin != 180000 || b24.NsPerOpMean != 190000 || b24.NsPerOpMax != 200000 {
+		t.Errorf("ns/op min/mean/max = %v/%v/%v, want 180000/190000/200000",
+			b24.NsPerOpMin, b24.NsPerOpMean, b24.NsPerOpMax)
+	}
+	if b24.BytesPerOp != 50000 || b24.AllocsPerOp != 400 {
+		t.Errorf("memory stats = %v B/op %v allocs/op", b24.BytesPerOp, b24.AllocsPerOp)
+	}
+}
+
+func TestBuildReportEmpty(t *testing.T) {
+	if _, err := buildReport(strings.NewReader("PASS\n"), io.Discard); err == nil {
+		t.Error("no benchmark lines must be an error")
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	base := &report{Date: "2026-01-01T00:00:00Z", Benchmarks: []summary{
+		{Name: "BenchmarkA", NsPerOpMean: 1000},
+		{Name: "BenchmarkB", NsPerOpMean: 1000},
+		{Name: "BenchmarkGone", NsPerOpMean: 500},
+	}}
+	cur := &report{Benchmarks: []summary{
+		{Name: "BenchmarkA", NsPerOpMean: 1050}, // +5%: under threshold
+		{Name: "BenchmarkB", NsPerOpMean: 1300}, // +30%: regression
+		{Name: "BenchmarkNew", NsPerOpMean: 42}, // no baseline
+	}}
+
+	var out strings.Builder
+	if !compareReports(base, cur, 0.10, &out) {
+		t.Error("a +30% regression at a 10% threshold must fail the comparison")
+	}
+	text := out.String()
+	for _, want := range []string{"BenchmarkA", "REGRESSED", "(new, no baseline)", "(in baseline, not run)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("comparison output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Count(text, "REGRESSED") != 1 {
+		t.Errorf("want exactly one REGRESSED line:\n%s", text)
+	}
+
+	out.Reset()
+	if compareReports(base, cur, 0.50, &out) {
+		t.Error("a +30% change at a 50% threshold must pass")
+	}
+
+	// An improvement is never a regression, whatever the threshold.
+	out.Reset()
+	fast := &report{Benchmarks: []summary{{Name: "BenchmarkA", NsPerOpMean: 700}}}
+	if compareReports(base, fast, 0.0, &out) {
+		t.Error("a -30% improvement must pass even at threshold 0")
+	}
+}

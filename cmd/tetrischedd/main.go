@@ -56,6 +56,7 @@ func main() {
 		limit     = flag.Duration("solver-limit", 300*time.Millisecond, "per-solve MILP time limit")
 		workers   = flag.Int("solver-workers", 0, "branch-and-bound workers per MILP solve (0 = one per CPU)")
 		gap       = flag.Float64("gap", 0.1, "relative MIP gap")
+		noPresolv = flag.Bool("no-presolve", false, "disable MILP presolve/model reduction (bisection switch)")
 		traceRing = flag.Int("trace-ring", 16384, "trace ring size in events served by /v1/trace (0 disables tracing)")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = pprof disabled)")
 		drain     = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
@@ -92,6 +93,7 @@ func main() {
 		SolverTimeLimit:  *limit,
 		SolverWorkers:    workerCount(*workers),
 		Gap:              *gap,
+		DisablePresolve:  *noPresolv,
 		Tracer:           tr,
 	})
 	api := httpapi.NewServer(sched, c.N()).SetTracer(tr)

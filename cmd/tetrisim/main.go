@@ -43,6 +43,7 @@ func main() {
 		slackMax    = flag.Float64("slack-max", 0, "deadline slack upper bound (×runtime; 0 = mix default)")
 		limit       = flag.Duration("solver-limit", 300*time.Millisecond, "MILP time limit per solve")
 		workers     = flag.Int("solver-workers", 1, "branch-and-bound workers per MILP solve (0 = one per CPU)")
+		noPresolve  = flag.Bool("no-presolve", false, "disable MILP presolve/model reduction (bisection switch)")
 		verbose     = flag.Bool("v", false, "print per-job outcomes")
 		gantt       = flag.Bool("gantt", false, "render the space-time schedule grid")
 		saveTrace   = flag.String("save-trace", "", "write the generated workload to a JSON trace file")
@@ -127,7 +128,8 @@ func main() {
 	plan := rayon.NewPlan(c.N(), *cycle)
 	var sched sim.Scheduler
 	base := core.Config{CyclePeriod: *cycle, PlanAhead: *planAhead, PlanQuantum: *planQuantum,
-		SolverTimeLimit: *limit, SolverWorkers: solverWorkers(*workers), Tracer: tracer}
+		SolverTimeLimit: *limit, SolverWorkers: solverWorkers(*workers), Tracer: tracer,
+		DisablePresolve: *noPresolve}
 	switch strings.ToLower(*schedName) {
 	case "tetrisched", "full":
 		sched = core.New(c, base)
@@ -183,6 +185,8 @@ func main() {
 			st := cs.Stats
 			fmt.Printf("solver: solves=%d nodes=%d max-nodes=%d workers=%d lp-iters=%d phase1=%d warm-lp=%d cold-lp=%d decomposed=%d components=%d\n",
 				st.Solves, st.Nodes, st.MaxNodes, st.Workers, st.LPIters, st.Phase1, st.WarmLPs, st.ColdLPs, st.Decomposed, st.Components)
+			fmt.Printf("presolve: vars-fixed=%d rows-dropped=%d cliques-merged=%d rounds=%d time=%v\n",
+				st.PresolveFixed, st.PresolveRows, st.PresolveCliques, st.PresolveRounds, st.PresolveTime.Round(time.Microsecond))
 		}
 		fmt.Println("\n  id class type  k   submit    start   finish deadline  outcome")
 		for i := range res.Stats {

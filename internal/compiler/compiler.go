@@ -557,6 +557,13 @@ func (c *Compiled) SeedGrant(leaf strl.Expr) (LeafGrant, bool) {
 // infeasible vectors. The scheduler only seeds max-of-leaf job shapes, and
 // the solver re-validates feasibility before accepting any seed, so a bad
 // vector degrades to "no warm start" rather than a wrong schedule.
+//
+// The vector is full-space (one entry per model variable). Downstream
+// reductions remap it transparently: milp.Solve restricts it through the
+// presolve layer's RestrictPoint (feasible full-space points restrict to
+// feasible reduced points), and Component.Restrict projects it onto each
+// sub-model of a decomposed solve — callers never adjust the vector for
+// either transformation.
 func (c *Compiled) InitialVector(grants []LeafGrant) ([]float64, bool) {
 	x := make([]float64, c.Model.NumVars())
 	active := map[strl.Expr]bool{}

@@ -68,6 +68,11 @@ type Config struct {
 	// branch-and-bound. A bisection switch — results are identical either
 	// way, only slower.
 	DisableWarmStart bool
+	// DisablePresolve turns off the MILP presolve/model-reduction layer
+	// (internal/milp/presolve.go); models enter branch-and-bound exactly as
+	// compiled. A bisection switch like DisableWarmStart — placements are
+	// policy-identical either way, only slower (docs/SOLVER.md).
+	DisablePresolve bool
 	// BEDecay overrides the best-effort value decay horizon in seconds.
 	BEDecay int64
 	// Tracer, when non-nil, records per-cycle spans (generate, compile,
@@ -136,6 +141,13 @@ type SolveStats struct {
 	MaxSolve   time.Duration // slowest single solve
 	Decomposed int           // global solves that split into independent components
 	Components int           // sub-MILPs solved across all decomposed solves
+
+	// Presolve telemetry (internal/milp/presolve.go), summed across solves.
+	PresolveFixed   int           // variables fixed before branch-and-bound
+	PresolveRows    int           // constraint rows eliminated
+	PresolveCliques int           // choose-≤-1 rows merged by clique domination
+	PresolveRounds  int           // fixpoint rounds run
+	PresolveTime    time.Duration // cumulative presolve wall-clock
 }
 
 // WarmHitRate returns the fraction of node LPs served warm from a parent
@@ -178,6 +190,11 @@ func (st *SolveStats) record(sol *milp.Solution, warm bool, d time.Duration) {
 	st.Phase1 += sol.LP.Phase1
 	st.WarmLPs += sol.LP.WarmHits
 	st.ColdLPs += sol.LP.ColdStarts
+	st.PresolveFixed += sol.Presolve.VarsFixed
+	st.PresolveRows += sol.Presolve.RowsDropped
+	st.PresolveCliques += sol.Presolve.CliquesMerged
+	st.PresolveRounds += sol.Presolve.Rounds
+	st.PresolveTime += sol.Presolve.Duration
 }
 
 // runInfo tracks the scheduler's belief about a running job.
@@ -431,6 +448,7 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 		Workers:          s.cfg.SolverWorkers,
 		Deterministic:    true,
 		DisableWarmStart: s.cfg.DisableWarmStart,
+		DisablePresolve:  s.cfg.DisablePresolve,
 	}
 	solveSpan := s.tr.Begin("solve", "solve")
 	t0 := time.Now()
@@ -476,6 +494,7 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 	elapsed := time.Since(t0)
 	res.SolverLatency += elapsed
 	s.Stats.record(sol, seed != nil, elapsed)
+	s.tracePresolve(sol)
 	endSolveSpan(solveSpan, sol, err, seed != nil)
 	if err != nil || sol.Values == nil {
 		// Solver produced nothing inside its budget (possible under extreme
@@ -536,6 +555,20 @@ func endComponentSpan(sp trace.Span, cc *compiler.Component, sol *milp.Solution)
 		trace.F("objective", sol.Objective),
 		trace.I("nodes", int64(sol.Nodes)),
 		trace.I("workers", int64(sol.Workers)))
+}
+
+// tracePresolve emits the solve.presolve span for one solve's reduction
+// work. The span nests inside the enclosing solve span by timestamp
+// containment (it ends before endSolveSpan records the parent).
+func (s *Scheduler) tracePresolve(sol *milp.Solution) {
+	if s.tr == nil || sol == nil || sol.Presolve.Rounds == 0 {
+		return
+	}
+	s.tr.Complete("solve", "solve.presolve", sol.Presolve.Duration,
+		trace.I("vars_fixed", int64(sol.Presolve.VarsFixed)),
+		trace.I("rows_dropped", int64(sol.Presolve.RowsDropped)),
+		trace.I("cliques_merged", int64(sol.Presolve.CliquesMerged)),
+		trace.I("rounds", int64(sol.Presolve.Rounds)))
 }
 
 // endSolveSpan closes a solve span with the solution's telemetry payload.
@@ -688,10 +721,12 @@ func (s *Scheduler) greedyCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 			Deterministic:    true,
 			Heuristic:        comp.GreedyRound,
 			DisableWarmStart: s.cfg.DisableWarmStart,
+			DisablePresolve:  s.cfg.DisablePresolve,
 		})
 		elapsed := time.Since(t0)
 		res.SolverLatency += elapsed
 		s.Stats.record(sol, false, elapsed)
+		s.tracePresolve(sol)
 		endSolveSpan(solveSpan, sol, err, false)
 		if err != nil || sol.Values == nil {
 			continue

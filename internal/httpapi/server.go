@@ -132,6 +132,11 @@ type SolverStatusMsg struct {
 	WarmHitRate     float64 `json:"lp_warm_hit_rate"`
 	MeanSolveMillis float64 `json:"mean_solve_millis"`
 	MaxSolveMillis  float64 `json:"max_solve_millis"`
+	PresolveFixed   int     `json:"presolve_vars_fixed"`
+	PresolveRows    int     `json:"presolve_rows_dropped"`
+	PresolveCliques int     `json:"presolve_cliques_merged"`
+	PresolveRounds  int     `json:"presolve_rounds"`
+	PresolveMillis  float64 `json:"presolve_millis"`
 }
 
 // StatusResponse summarizes daemon state.
@@ -353,6 +358,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			WarmHitRate:     st.WarmHitRate(),
 			MeanSolveMillis: ms(st.MeanSolve()),
 			MaxSolveMillis:  ms(st.MaxSolve),
+			PresolveFixed:   st.PresolveFixed,
+			PresolveRows:    st.PresolveRows,
+			PresolveCliques: st.PresolveCliques,
+			PresolveRounds:  st.PresolveRounds,
+			PresolveMillis:  ms(st.PresolveTime),
 		}
 	}
 	writeJSON(w, resp)
@@ -428,6 +438,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("tetrisched_solver_decomposed_total", "Global solves split into independent components.", uint64(st.Decomposed))
 		counter("tetrisched_solver_components_total", "Sub-MILPs solved across all decomposed solves.", uint64(st.Components))
 		gauge("tetrisched_solver_lp_warm_hit_rate", "Fraction of node LPs served warm.", st.WarmHitRate())
+		counter("tetrisched_solver_presolve_vars_fixed_total", "Variables fixed by presolve before branch-and-bound.", uint64(st.PresolveFixed))
+		counter("tetrisched_solver_presolve_rows_dropped_total", "Constraint rows eliminated by presolve.", uint64(st.PresolveRows))
+		counter("tetrisched_solver_presolve_cliques_merged_total", "Choose-at-most-one rows merged by clique domination.", uint64(st.PresolveCliques))
+		counter("tetrisched_solver_presolve_rounds_total", "Presolve fixpoint rounds run.", uint64(st.PresolveRounds))
+		const psSec = "tetrisched_solver_presolve_seconds_total"
+		fmt.Fprintf(&b, "# HELP %s Cumulative presolve wall-clock.\n# TYPE %s counter\n%s %g\n",
+			psSec, psSec, psSec, st.PresolveTime.Seconds())
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, b.String())

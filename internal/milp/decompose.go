@@ -151,6 +151,7 @@ func mergeParts(parts []Part, sols []*Solution, fullVars int) *Solution {
 		}
 		merged.Nodes += sol.Nodes
 		merged.LP.add(&sol.LP)
+		merged.Presolve.add(&sol.Presolve)
 		merged.Runtime += sol.Runtime
 		if sol.Workers > merged.Workers {
 			merged.Workers = sol.Workers

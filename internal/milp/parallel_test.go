@@ -48,8 +48,8 @@ func TestParallelMatchesSerialObjective(t *testing.T) {
 			t.Fatalf("seed %d: serial Workers = %d", seed, serial.Workers)
 		}
 		for _, opt := range []Options{
-			{Workers: 4},
-			{Workers: 4, Deterministic: true},
+			{Workers: 4, SerialCutoff: -1},
+			{Workers: 4, Deterministic: true, SerialCutoff: -1},
 		} {
 			par, err := Solve(randMILP(seed), opt)
 			if err != nil {
@@ -74,7 +74,7 @@ func TestDeterministicParallelValues(t *testing.T) {
 	for seed := int64(0); seed < 4; seed++ {
 		var ref *Solution
 		for run := 0; run < 10; run++ {
-			sol, err := Solve(randMILP(seed), Options{Workers: 4, Deterministic: true, Gap: 0.05})
+			sol, err := Solve(randMILP(seed), Options{Workers: 4, Deterministic: true, Gap: 0.05, SerialCutoff: -1})
 			if err != nil {
 				t.Fatalf("seed %d run %d: %v", seed, run, err)
 			}
@@ -108,8 +108,8 @@ func TestParallelGapBoundInvariant(t *testing.T) {
 			t.Fatalf("seed %d: exact solve failed: %v %v", seed, exact, err)
 		}
 		for _, opt := range []Options{
-			{Workers: 4, Gap: 0.2},
-			{Workers: 4, Deterministic: true, Gap: 0.2},
+			{Workers: 4, Gap: 0.2, SerialCutoff: -1},
+			{Workers: 4, Deterministic: true, Gap: 0.2, SerialCutoff: -1},
 		} {
 			sol, err := Solve(randKnapsack(seed), opt)
 			if err != nil {
@@ -143,7 +143,7 @@ func TestParallelWithHeuristic(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d serial: %v", seed, err)
 		}
-		par, err := Solve(randMILP(seed), Options{Workers: 4, Heuristic: heur})
+		par, err := Solve(randMILP(seed), Options{Workers: 4, Heuristic: heur, SerialCutoff: -1})
 		if err != nil {
 			t.Fatalf("seed %d parallel: %v", seed, err)
 		}
@@ -171,7 +171,7 @@ func TestWorkersDefault(t *testing.T) {
 // stop promptly and still return the best incumbent found.
 func TestParallelTimeLimit(t *testing.T) {
 	start := time.Now()
-	sol, err := Solve(randMILP(3), Options{Workers: 4, TimeLimit: 50 * time.Millisecond})
+	sol, err := Solve(randMILP(3), Options{Workers: 4, TimeLimit: 50 * time.Millisecond, SerialCutoff: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestParallelTimeLimit(t *testing.T) {
 
 // TestParallelMaxNodes checks the cooperative node limit.
 func TestParallelMaxNodes(t *testing.T) {
-	sol, err := Solve(randMILP(5), Options{Workers: 4, MaxNodes: 3})
+	sol, err := Solve(randMILP(5), Options{Workers: 4, MaxNodes: 3, SerialCutoff: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

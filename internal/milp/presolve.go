@@ -1,0 +1,894 @@
+package milp
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// This file implements the presolve (model-reduction) pass that runs between
+// compilation and branch-and-bound. The compiled STRL models carry structure
+// a reducer can exploit — choose-≤-1 indicator rows, binaries already fixed
+// by their bounds, capacity rows that are slack for every assignment, and
+// duplicate rows emitted by per-slice capacity expansion. Presolve applies a
+// catalog of standard reductions repeatedly to a fixpoint:
+//
+//   - bound propagation over ≤-rows (and both sides of =-rows), tightening
+//     and fixing integer variables from row activity bounds;
+//   - singleton-row conversion to bounds and redundant-row elimination
+//     (rows whose max activity cannot exceed the RHS);
+//   - fixed-column substitution into the RHS with objective-constant
+//     accumulation, and empty-column removal via duality fixing (a variable
+//     whose objective and row coefficients all pull one way is fixed to the
+//     corresponding bound);
+//   - dedup of identical rows (≥-rows are normalized to ≤ first, so a
+//     mirrored pair also merges);
+//   - clique strengthening: set-packing rows over binary literals that are
+//     subsets of another packing row are implied by it and dropped.
+//
+// Every reduction preserves the optimal objective value, and the surviving
+// reductions preserve feasibility of restricted points: mapping any feasible
+// full-space point into the reduced space (dropping fixed columns) yields a
+// feasible reduced point, so warm-start seeds and heuristic candidates pass
+// through Presolved.RestrictPoint unharmed. Lift restores a full-space
+// Solution — values for fixed columns, the accumulated objective constant on
+// both objective and bound — so callers cannot observe the reduction.
+
+// psTol is the presolve-local absolute tolerance for declaring a row violated (and hence
+// the model infeasible) during presolve. It is deliberately tighter than the
+// 1e-6 feasibility tolerance used by IsFeasible so presolve never rejects a
+// model the solver would accept.
+const psTol = 1e-7
+
+// maxPresolveRounds bounds the reduce-to-fixpoint loop. Reductions monotonely
+// shrink the model, so the loop terminates on its own; the cap is a backstop
+// against tolerance-induced oscillation.
+const maxPresolveRounds = 25
+
+// PresolveStats reports what the presolve pass did to a model.
+type PresolveStats struct {
+	VarsFixed     int // columns fixed and substituted out
+	RowsDropped   int // rows eliminated (redundant, singleton, duplicate, empty, clique-implied)
+	CliquesMerged int // set-packing rows dropped as subsets of a stronger clique (also counted in RowsDropped)
+	Rounds        int // fixpoint iterations run
+	Duration      time.Duration
+}
+
+// add folds o into s (used when merging decomposed part solutions and when
+// accumulating scheduler-lifetime telemetry).
+func (s *PresolveStats) add(o *PresolveStats) {
+	s.VarsFixed += o.VarsFixed
+	s.RowsDropped += o.RowsDropped
+	s.CliquesMerged += o.CliquesMerged
+	s.Rounds += o.Rounds
+	s.Duration += o.Duration
+}
+
+// Presolved is the outcome of reducing a model: the reduced model plus the
+// postsolve state needed to lift reduced-space solutions and map full-space
+// points (seeds, heuristic candidates) into the reduced space.
+type Presolved struct {
+	// Model is the reduced model to hand to the solver. When no reduction
+	// fired it is the original model, untouched.
+	Model *Model
+	// Stats records what the pass did.
+	Stats PresolveStats
+	// Infeasible reports that presolve proved the model has no feasible
+	// point; Model is nil in that case.
+	Infeasible bool
+
+	identity bool      // no reduction fired: Lift and the point maps pass through
+	nOrig    int       // variable count of the original model
+	objConst float64   // objective contribution of the fixed columns
+	isFixed  []bool    // original index -> fixed?
+	fixedVal []float64 // original index -> fixed value
+	keep     []int     // reduced index -> original index
+}
+
+// Lift maps a reduced-space Solution back to the original model's space:
+// values of fixed columns are restored, and the objective constant is added
+// to both the objective and the proven bound. The input is not modified.
+func (p *Presolved) Lift(sol *Solution) *Solution {
+	out := *sol
+	out.Presolve = p.Stats
+	if p.identity {
+		return &out
+	}
+	switch sol.Status {
+	case StatusOptimal, StatusFeasible:
+		full := make([]float64, p.nOrig)
+		for i := range full {
+			if p.isFixed[i] {
+				full[i] = p.fixedVal[i]
+			}
+		}
+		// An empty reduced model solves with Values == nil; the fixed columns
+		// alone are the full solution.
+		if sol.Values != nil {
+			for ri, oi := range p.keep {
+				full[oi] = sol.Values[ri]
+			}
+		}
+		out.Values = full
+		out.Objective = sol.Objective + p.objConst
+		out.Bound = sol.Bound + p.objConst
+	case StatusNoSolution:
+		out.Bound = sol.Bound + p.objConst
+	}
+	return &out
+}
+
+// RestrictPoint maps a full-space point into the reduced space by dropping
+// the fixed columns. Nil in, nil out; a length mismatch also yields nil (the
+// caller's seed is silently unusable, matching Solve's infeasible-seed
+// policy). For any point feasible in the original model the restriction is
+// feasible in the reduced model, so warm-start seeds survive presolve.
+func (p *Presolved) RestrictPoint(x []float64) []float64 {
+	if x == nil {
+		return nil
+	}
+	if p.identity {
+		return x
+	}
+	if len(x) != p.nOrig {
+		return nil
+	}
+	out := make([]float64, len(p.keep))
+	for ri, oi := range p.keep {
+		out[ri] = x[oi]
+	}
+	return out
+}
+
+// LiftPoint maps a reduced-space point to the full space, filling fixed
+// columns with their values. Used to present full-space relaxation points to
+// caller-supplied heuristics.
+func (p *Presolved) LiftPoint(x []float64) []float64 {
+	if p.identity {
+		return x
+	}
+	out := make([]float64, p.nOrig)
+	for i := range out {
+		if p.isFixed[i] {
+			out[i] = p.fixedVal[i]
+		}
+	}
+	for ri, oi := range p.keep {
+		if ri < len(x) {
+			out[oi] = x[ri]
+		}
+	}
+	return out
+}
+
+// psRow is a working-copy constraint. GE rows are normalized to LE at load
+// (coefficients and RHS negated) so the reducers only see LE and EQ; zero
+// coefficients are dropped. Term order is preserved from the input model —
+// AddConstraint already merges duplicate variables, and every reducer here
+// is order-independent (dedup compares rows in emission order, which is how
+// per-slice expansion duplicates actually appear).
+type psRow struct {
+	name  string
+	terms []Term
+	op    Op
+	rhs   float64
+	dead  bool
+	hash  uint64 // cached rowHash; 0 = stale (recompute)
+}
+
+// presolver is the working state of one reduction pass.
+type presolver struct {
+	m      *Model
+	lb, ub []float64
+	rows   []psRow
+	fixed  []bool
+	fixVal []float64
+
+	// scratch reused across rounds
+	inEQ, up, down []bool         // dualityFix column flags
+	dedupSeen      map[uint64]int // dedupRows hash -> first row index
+	cliqueRows     []psCliqueRow  // mergeCliques candidate rows
+	cliqueLits     []int          // mergeCliques flat literal storage
+
+	stats      PresolveStats
+	infeasible bool
+	changed    bool // a reduction fired this round
+	touched    bool // any reduction fired at all (identity fast-path guard)
+	pendingFix bool // columns fixed since the last substitution pass
+}
+
+func (p *presolver) mark() { p.changed = true; p.touched = true }
+
+func (p *presolver) dropRow(r *psRow) {
+	r.dead = true
+	p.stats.RowsDropped++
+	p.mark()
+}
+
+// Presolve reduces the model. The input model is never modified; when no
+// reduction applies the returned Presolved aliases it directly.
+func Presolve(m *Model) *Presolved {
+	start := time.Now()
+	p := newPresolver(m)
+	for round := 0; round < maxPresolveRounds && !p.infeasible; round++ {
+		p.changed = false
+		p.stats.Rounds++
+		p.substituteFixed()
+		if p.infeasible {
+			break
+		}
+		p.reduceRows()
+		if p.infeasible {
+			break
+		}
+		// Dedup and clique domination are idempotent: when nothing has
+		// changed since they last ran, re-running finds nothing.
+		if round == 0 || p.changed {
+			p.dedupRows()
+			if p.infeasible {
+				break
+			}
+			p.mergeCliques()
+		}
+		p.dualityFix()
+		if !p.changed {
+			break
+		}
+	}
+	if !p.infeasible {
+		// Flush fixes from the final round into the surviving rows.
+		p.substituteFixed()
+	}
+	out := p.build()
+	out.Stats.Duration = time.Since(start)
+	return out
+}
+
+func newPresolver(m *Model) *presolver {
+	n := len(m.Vars)
+	p := &presolver{
+		m:      m,
+		lb:     make([]float64, n),
+		ub:     make([]float64, n),
+		fixed:  make([]bool, n),
+		fixVal: make([]float64, n),
+		inEQ:   make([]bool, n),
+		up:     make([]bool, n),
+		down:   make([]bool, n),
+	}
+	for i, v := range m.Vars {
+		lb, ub := v.Lb, v.Ub
+		if v.Type != Continuous {
+			// Integral bounds: fractional input bounds round inward.
+			if r := math.Ceil(lb - intTol); r > lb+1e-9 {
+				lb = r
+				p.touched = true
+			}
+			if r := math.Floor(ub + intTol); r < ub-1e-9 {
+				ub = r
+				p.touched = true
+			}
+		}
+		p.lb[i], p.ub[i] = lb, ub
+	}
+	// Columns the input model already pins (lb == ub) substitute out in the
+	// first round like any other fixed column.
+	for i := range p.lb {
+		p.afterBound(i)
+		if p.infeasible {
+			return p
+		}
+	}
+	total := 0
+	for ci := range m.Cons {
+		total += len(m.Cons[ci].Terms)
+	}
+	flat := make([]Term, 0, total) // one backing array for every row's terms
+	p.rows = make([]psRow, 0, len(m.Cons))
+	for ci := range m.Cons {
+		c := &m.Cons[ci]
+		rhs := c.RHS
+		op := c.Op
+		neg := false
+		if op == GE {
+			neg = true
+			rhs = -rhs
+			op = LE
+		}
+		lo := len(flat)
+		for _, t := range c.Terms {
+			if t.Coef == 0 {
+				continue
+			}
+			if neg {
+				t.Coef = -t.Coef
+			}
+			flat = append(flat, t)
+		}
+		p.rows = append(p.rows, psRow{name: c.Name, terms: flat[lo:len(flat):len(flat)], op: op, rhs: rhs})
+	}
+	return p
+}
+
+// fixVar fixes variable v to x and records it for postsolve.
+func (p *presolver) fixVar(v int, x float64) {
+	if p.fixed[v] {
+		if math.Abs(p.fixVal[v]-x) > psTol {
+			p.infeasible = true
+		}
+		return
+	}
+	if x < p.lb[v]-psTol || x > p.ub[v]+psTol {
+		p.infeasible = true
+		return
+	}
+	p.fixed[v] = true
+	p.fixVal[v] = x
+	p.lb[v], p.ub[v] = x, x
+	p.stats.VarsFixed++
+	p.pendingFix = true
+	p.mark()
+}
+
+// afterBound checks a variable's bounds after a tightening: crossed bounds
+// beyond tolerance are infeasible; bounds that meet fix the variable.
+func (p *presolver) afterBound(v int) {
+	if p.lb[v] > p.ub[v]+psTol {
+		p.infeasible = true
+		return
+	}
+	if p.m.Vars[v].Type != Continuous {
+		if p.ub[v] <= p.lb[v]+0.5 { // integral bounds: equal
+			p.fixVar(v, p.lb[v])
+		}
+		return
+	}
+	if p.ub[v]-p.lb[v] <= 1e-12 {
+		p.fixVar(v, (p.lb[v]+p.ub[v])/2)
+	}
+}
+
+// tightenUb lowers v's upper bound to b if that is a real improvement.
+func (p *presolver) tightenUb(v int, b float64) {
+	if p.fixed[v] {
+		if p.fixVal[v] > b+psTol {
+			p.infeasible = true
+		}
+		return
+	}
+	if p.m.Vars[v].Type != Continuous {
+		b = math.Floor(b + intTol)
+	}
+	if b >= p.ub[v]-1e-9 {
+		return
+	}
+	p.ub[v] = b
+	p.mark()
+	p.afterBound(v)
+}
+
+// tightenLb raises v's lower bound to b if that is a real improvement.
+func (p *presolver) tightenLb(v int, b float64) {
+	if p.fixed[v] {
+		if p.fixVal[v] < b-psTol {
+			p.infeasible = true
+		}
+		return
+	}
+	if p.m.Vars[v].Type != Continuous {
+		b = math.Ceil(b - intTol)
+	}
+	if b <= p.lb[v]+1e-9 {
+		return
+	}
+	p.lb[v] = b
+	p.mark()
+	p.afterBound(v)
+}
+
+// substituteFixed removes fixed columns from every live row, folding their
+// contribution into the RHS. Rows left empty are checked and dropped. A
+// no-op (and free) when no column was fixed since the last pass.
+func (p *presolver) substituteFixed() {
+	if !p.pendingFix {
+		return
+	}
+	p.pendingFix = false
+	for ri := range p.rows {
+		r := &p.rows[ri]
+		if r.dead {
+			continue
+		}
+		hasFixed := false
+		for _, t := range r.terms {
+			if p.fixed[t.Var] {
+				hasFixed = true
+				break
+			}
+		}
+		if hasFixed {
+			out := r.terms[:0]
+			for _, t := range r.terms {
+				if p.fixed[t.Var] {
+					r.rhs -= t.Coef * p.fixVal[t.Var]
+				} else {
+					out = append(out, t)
+				}
+			}
+			r.terms = out
+			r.hash = 0 // terms changed; cached fingerprint is stale
+			p.mark()
+		}
+		if len(r.terms) == 0 {
+			switch r.op {
+			case LE:
+				if r.rhs < -psTol {
+					p.infeasible = true
+					return
+				}
+			case EQ:
+				if math.Abs(r.rhs) > psTol {
+					p.infeasible = true
+					return
+				}
+			}
+			p.dropRow(r)
+		}
+	}
+}
+
+// termRange returns the [min, max] contribution of one term under the
+// current bounds. Coefficients are never zero here, so no 0·Inf NaNs.
+func (p *presolver) termRange(t Term) (lo, hi float64) {
+	lb, ub := p.lb[t.Var], p.ub[t.Var]
+	if t.Coef > 0 {
+		return t.Coef * lb, t.Coef * ub
+	}
+	return t.Coef * ub, t.Coef * lb
+}
+
+// reduceRows runs activity analysis on every live row: infeasibility and
+// redundancy detection, singleton-to-bound conversion, and bound propagation
+// on each variable from the residual activity of the rest of the row.
+func (p *presolver) reduceRows() {
+	for ri := range p.rows {
+		r := &p.rows[ri]
+		if r.dead {
+			continue
+		}
+		if len(r.terms) == 1 {
+			p.singletonRow(r)
+			if p.infeasible {
+				return
+			}
+			continue
+		}
+		minSum, maxSum := 0.0, 0.0
+		minInf, maxInf := 0, 0
+		for _, t := range r.terms {
+			lo, hi := p.termRange(t)
+			if math.IsInf(lo, -1) {
+				minInf++
+			} else {
+				minSum += lo
+			}
+			if math.IsInf(hi, 1) {
+				maxInf++
+			} else {
+				maxSum += hi
+			}
+		}
+		minAct, maxAct := minSum, maxSum
+		if minInf > 0 {
+			minAct = math.Inf(-1)
+		}
+		if maxInf > 0 {
+			maxAct = math.Inf(1)
+		}
+		switch r.op {
+		case LE:
+			if minAct > r.rhs+psTol {
+				p.infeasible = true
+				return
+			}
+			if maxAct <= r.rhs+psTol {
+				p.dropRow(r) // slack at every point in the bound box
+				continue
+			}
+		case EQ:
+			if minAct > r.rhs+psTol || maxAct < r.rhs-psTol {
+				p.infeasible = true
+				return
+			}
+			if minAct >= r.rhs-psTol && maxAct <= r.rhs+psTol {
+				p.dropRow(r) // forced to RHS at every point
+				continue
+			}
+		}
+		for _, t := range r.terms {
+			if p.fixed[t.Var] {
+				continue
+			}
+			lo, hi := p.termRange(t)
+			// ≤ side: a·x ≤ rhs − min(rest of row).
+			rest, ok := residual(minSum, minInf, lo, -1)
+			if ok {
+				b := (r.rhs - rest) / t.Coef
+				if t.Coef > 0 {
+					p.tightenUb(int(t.Var), b)
+				} else {
+					p.tightenLb(int(t.Var), b)
+				}
+				if p.infeasible {
+					return
+				}
+			}
+			if r.op != EQ {
+				continue
+			}
+			// ≥ side of an equality: a·x ≥ rhs − max(rest of row).
+			rest, ok = residual(maxSum, maxInf, hi, 1)
+			if ok {
+				b := (r.rhs - rest) / t.Coef
+				if t.Coef > 0 {
+					p.tightenLb(int(t.Var), b)
+				} else {
+					p.tightenUb(int(t.Var), b)
+				}
+				if p.infeasible {
+					return
+				}
+			}
+		}
+	}
+}
+
+// residual computes the row activity with one term removed, given the finite
+// part of the sum and the count of infinite contributions. sign selects which
+// infinity the sum saturates toward (-1: min activity, +1: max activity).
+// ok is false when the residual itself is infinite (no bound derivable).
+func residual(finiteSum float64, infCount int, contrib float64, sign int) (rest float64, ok bool) {
+	switch {
+	case infCount == 0:
+		return finiteSum - contrib, true
+	case infCount == 1 && math.IsInf(contrib, sign):
+		return finiteSum, true
+	default:
+		return 0, false
+	}
+}
+
+// singletonRow converts a one-term row into a variable bound and drops it.
+func (p *presolver) singletonRow(r *psRow) {
+	t := r.terms[0]
+	v := int(t.Var)
+	b := r.rhs / t.Coef
+	switch r.op {
+	case LE:
+		if t.Coef > 0 {
+			p.tightenUb(v, b)
+		} else {
+			p.tightenLb(v, b)
+		}
+	case EQ:
+		if p.m.Vars[v].Type != Continuous && math.Abs(b-math.Round(b)) > intTol {
+			p.infeasible = true
+			return
+		}
+		p.tightenUb(v, b)
+		if p.infeasible {
+			return
+		}
+		p.tightenLb(v, b)
+	}
+	if p.infeasible {
+		return
+	}
+	p.dropRow(r)
+}
+
+// dedupRows drops rows with identical operators and term vectors. Duplicate
+// ≤-rows keep the smallest RHS; duplicate =-rows with different RHS are an
+// infeasibility. Per-slice capacity expansion emits many identical rows when
+// consecutive slices see the same demand set, so this fires often on
+// compiled models. Rows are hashed without allocating and verified
+// term-by-term on a hash hit; a verification miss (hash collision with a
+// different row) just skips the dedup for that row.
+func (p *presolver) dedupRows() {
+	if p.dedupSeen == nil {
+		p.dedupSeen = make(map[uint64]int, len(p.rows))
+	} else {
+		clear(p.dedupSeen)
+	}
+	for ri := range p.rows {
+		r := &p.rows[ri]
+		if r.dead {
+			continue
+		}
+		h := r.hash
+		if h == 0 {
+			h = rowHash(r)
+			r.hash = h
+		}
+		if fi, dup := p.dedupSeen[h]; dup {
+			first := &p.rows[fi]
+			if first.op == r.op && sameTerms(first.terms, r.terms) {
+				switch r.op {
+				case LE:
+					if r.rhs < first.rhs {
+						first.rhs = r.rhs
+					}
+				case EQ:
+					if math.Abs(r.rhs-first.rhs) > psTol {
+						p.infeasible = true
+						return
+					}
+				}
+				p.dropRow(r)
+			}
+			continue
+		}
+		p.dedupSeen[h] = ri
+	}
+}
+
+// rowHash mixes the row's operator and term vector into a 64-bit fingerprint
+// (splitmix64-style finalization per word). Collisions are tolerable: callers
+// verify term-by-term before acting on a match. Never returns 0, so 0 can
+// mark a stale cache entry.
+func rowHash(r *psRow) uint64 {
+	h := uint64(r.op) + 0x9e3779b97f4a7c15
+	for _, t := range r.terms {
+		h = mix64(h, uint64(t.Var))
+		h = mix64(h, math.Float64bits(t.Coef))
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+func mix64(h, v uint64) uint64 {
+	v += h
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
+}
+
+// sameTerms reports whether two term vectors are identical.
+func sameTerms(a, b []Term) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// maxCliqueRows caps the set-packing rows considered by the quadratic
+// domination check; compiled models stay far below it.
+const maxCliqueRows = 1024
+
+// mergeCliques drops set-packing rows implied by a stronger packing row.
+// A row Σ pos − Σ neg ≤ 1 − |neg| over binary variables says "at most one of
+// these literals is true" (a clique in the conflict graph); any such row
+// whose literal set is a subset of another clique's is implied by it. The
+// compiler's choose-≤-1 indicator rows take exactly this shape once the
+// presolver has fixed the parent indicators.
+func (p *presolver) mergeCliques() {
+	cliques := p.cliqueRows[:0]
+	lits := p.cliqueLits[:0]
+	for ri := range p.rows {
+		r := &p.rows[ri]
+		if r.dead || r.op != LE || len(r.terms) < 2 {
+			continue
+		}
+		neg := 0
+		ok := true
+		for _, t := range r.terms {
+			v := int(t.Var)
+			if p.m.Vars[v].Type == Continuous || p.lb[v] != 0 || p.ub[v] != 1 {
+				ok = false
+				break
+			}
+			switch t.Coef {
+			case 1:
+			case -1:
+				neg++
+			default:
+				ok = false
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok || math.Abs(r.rhs-(1-float64(neg))) > psTol {
+			continue
+		}
+		lo := len(lits)
+		for _, t := range r.terms {
+			l := int(t.Var) * 2
+			if t.Coef < 0 {
+				l++ // complemented literal
+			}
+			lits = append(lits, l)
+		}
+		sort.Ints(lits[lo:])
+		cliques = append(cliques, psCliqueRow{ri: ri, lo: lo, hi: len(lits)})
+		if len(cliques) >= maxCliqueRows {
+			break
+		}
+	}
+	p.cliqueRows, p.cliqueLits = cliques, lits
+	if len(cliques) < 2 {
+		return
+	}
+	sort.Slice(cliques, func(i, j int) bool {
+		li, lj := cliques[i].hi-cliques[i].lo, cliques[j].hi-cliques[j].lo
+		if li != lj {
+			return li < lj
+		}
+		return cliques[i].ri < cliques[j].ri
+	})
+	for i := range cliques {
+		if p.rows[cliques[i].ri].dead {
+			continue
+		}
+		for j := i + 1; j < len(cliques); j++ {
+			if p.rows[cliques[j].ri].dead {
+				continue
+			}
+			if subsetInts(lits[cliques[i].lo:cliques[i].hi], lits[cliques[j].lo:cliques[j].hi]) {
+				p.dropRow(&p.rows[cliques[i].ri])
+				p.stats.CliquesMerged++
+				break
+			}
+		}
+	}
+}
+
+// psCliqueRow is one set-packing candidate in mergeCliques' scratch: row
+// index plus the [lo, hi) extent of its sorted literals in cliqueLits.
+type psCliqueRow struct {
+	ri, lo, hi int
+}
+
+// subsetInts reports whether sorted slice a is a subset of sorted slice b.
+func subsetInts(a, b []int) bool {
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j >= len(b) || b[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// dualityFix fixes columns whose objective and constraint coefficients all
+// pull toward the same bound. Under maximize, a variable with non-negative
+// objective that appears in no equality row and never increases a ≤-row's
+// activity when raised can sit at its upper bound in some optimal solution;
+// the mirror cases follow. Columns appearing in no row at all ("empty
+// columns") qualify trivially and are removed here. Raising (or lowering)
+// such a variable never leaves the feasible region, so restricted feasible
+// points stay feasible.
+func (p *presolver) dualityFix() {
+	n := len(p.m.Vars)
+	for v := 0; v < n; v++ {
+		p.inEQ[v], p.up[v], p.down[v] = false, false, false
+	}
+	for ri := range p.rows {
+		r := &p.rows[ri]
+		if r.dead {
+			continue
+		}
+		for _, t := range r.terms {
+			v := int(t.Var)
+			if r.op == EQ {
+				p.inEQ[v] = true
+			} else if t.Coef > 0 {
+				p.up[v] = true
+			} else {
+				p.down[v] = true
+			}
+		}
+	}
+	max := p.m.Sense == Maximize
+	for v := 0; v < n; v++ {
+		if p.fixed[v] || p.inEQ[v] {
+			continue
+		}
+		obj := p.m.Vars[v].Obj
+		var toUb, toLb bool
+		if max {
+			toUb = obj >= 0 && !p.up[v] && !math.IsInf(p.ub[v], 1)
+			toLb = !toUb && obj <= 0 && !p.down[v] && !math.IsInf(p.lb[v], -1)
+		} else {
+			toLb = obj >= 0 && !p.down[v] && !math.IsInf(p.lb[v], -1)
+			toUb = !toLb && obj <= 0 && !p.up[v] && !math.IsInf(p.ub[v], 1)
+		}
+		switch {
+		case toUb:
+			p.fixVar(v, p.ub[v])
+		case toLb:
+			p.fixVar(v, p.lb[v])
+		}
+		if p.infeasible {
+			return
+		}
+	}
+}
+
+// build assembles the Presolved result from the terminal presolver state.
+func (p *presolver) build() *Presolved {
+	n := len(p.m.Vars)
+	if p.infeasible {
+		return &Presolved{Stats: p.stats, Infeasible: true, nOrig: n}
+	}
+	if !p.touched {
+		return &Presolved{Model: p.m, Stats: p.stats, identity: true, nOrig: n}
+	}
+	newID := make([]int, n)
+	keep := make([]int, 0, n)
+	objConst := 0.0
+	for i := 0; i < n; i++ {
+		if p.fixed[i] {
+			newID[i] = -1
+			objConst += p.m.Vars[i].Obj * p.fixVal[i]
+			continue
+		}
+		newID[i] = len(keep)
+		keep = append(keep, i)
+	}
+	// Assemble the reduced model directly with pre-sized slices — terms are
+	// already merged and zero-free, so AddVar/AddConstraint would only add
+	// re-grow and re-merge overhead on this hot path.
+	live, liveTerms := 0, 0
+	for ri := range p.rows {
+		if !p.rows[ri].dead {
+			live++
+			liveTerms += len(p.rows[ri].terms)
+		}
+	}
+	rm := &Model{
+		Sense: p.m.Sense,
+		Vars:  make([]Variable, len(keep)),
+		Cons:  make([]Constraint, 0, live),
+	}
+	for ri, oi := range keep {
+		v := p.m.Vars[oi]
+		v.Lb, v.Ub = p.lb[oi], p.ub[oi]
+		rm.Vars[ri] = v
+	}
+	flat := make([]Term, 0, liveTerms)
+	for ri := range p.rows {
+		r := &p.rows[ri]
+		if r.dead {
+			continue
+		}
+		lo := len(flat)
+		for _, t := range r.terms {
+			flat = append(flat, Term{Var: VarID(newID[t.Var]), Coef: t.Coef})
+		}
+		rm.Cons = append(rm.Cons, Constraint{Name: r.name, Terms: flat[lo:len(flat):len(flat)], Op: r.op, RHS: r.rhs})
+	}
+	return &Presolved{
+		Model:    rm,
+		Stats:    p.stats,
+		nOrig:    n,
+		objConst: objConst,
+		isFixed:  p.fixed,
+		fixedVal: p.fixVal,
+		keep:     keep,
+	}
+}

@@ -1,0 +1,287 @@
+package milp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPresolveBoundPropagationFixesBinaries: a ≤-row whose residual activity
+// forces every binary below 1 must fix them all to 0 and leave an empty
+// reduced model.
+func TestPresolveBoundPropagationFixesBinaries(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddBinary("x", 1)
+	y := m.AddBinary("y", 1)
+	m.AddConstraint("tight", []Term{{x, 2}, {y, 2}}, LE, 1)
+	pre := Presolve(m)
+	if pre.Infeasible {
+		t.Fatal("model is feasible (all-zero), presolve claimed infeasible")
+	}
+	if pre.Stats.VarsFixed != 2 {
+		t.Errorf("VarsFixed = %d, want 2", pre.Stats.VarsFixed)
+	}
+	if pre.Model.NumVars() != 0 {
+		t.Errorf("reduced model has %d vars, want 0", pre.Model.NumVars())
+	}
+	sol, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || sol.Objective != 0 {
+		t.Errorf("solve: status %v objective %v, want optimal 0", sol.Status, sol.Objective)
+	}
+	if len(sol.Values) != 2 || sol.Values[0] != 0 || sol.Values[1] != 0 {
+		t.Errorf("lifted values %v, want [0 0]", sol.Values)
+	}
+}
+
+// TestPresolveSingletonAndPropagation: singleton rows become bounds (with
+// integer rounding) and are dropped; propagation tightens the coupled row's
+// variables.
+func TestPresolveSingletonAndPropagation(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddVar("x", Integer, 0, 10, 1)
+	y := m.AddVar("y", Integer, 0, 10, 1)
+	m.AddConstraint("cap", []Term{{x, 1}, {y, 1}}, LE, 7)
+	m.AddConstraint("xcap", []Term{{x, 2}}, LE, 9)
+	pre := Presolve(m)
+	if pre.Infeasible || pre.Model.NumVars() != 2 {
+		t.Fatalf("unexpected reduction outcome: %+v", pre)
+	}
+	if ub := pre.Model.Vars[0].Ub; ub != 4 {
+		t.Errorf("x upper bound = %v, want 4 (2x ≤ 9 rounded inward)", ub)
+	}
+	if ub := pre.Model.Vars[1].Ub; ub != 7 {
+		t.Errorf("y upper bound = %v, want 7 (propagated from cap)", ub)
+	}
+	if pre.Stats.RowsDropped != 1 {
+		t.Errorf("RowsDropped = %d, want 1 (the singleton)", pre.Stats.RowsDropped)
+	}
+	if pre.Model.NumConstraints() != 1 {
+		t.Errorf("reduced model has %d rows, want 1", pre.Model.NumConstraints())
+	}
+}
+
+// TestPresolveRedundantRow: a row slack at every point of the bound box is
+// dropped.
+func TestPresolveRedundantRow(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddBinary("x", 1)
+	y := m.AddBinary("y", 1)
+	m.AddConstraint("slack", []Term{{x, 1}, {y, 1}}, LE, 5)
+	m.AddConstraint("eq", []Term{{x, 1}, {y, -1}}, EQ, 0) // keeps x,y from duality fixing
+	pre := Presolve(m)
+	if pre.Infeasible {
+		t.Fatal("feasible model declared infeasible")
+	}
+	if pre.Model.NumConstraints() != 1 {
+		t.Errorf("reduced model has %d rows, want 1 (slack row dropped)", pre.Model.NumConstraints())
+	}
+}
+
+// TestPresolveDedup: identical ≤-rows merge keeping the smallest RHS, and a
+// ≥-row mirroring a ≤-row merges through GE→LE normalization.
+func TestPresolveDedup(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddBinary("x", 1)
+	y := m.AddBinary("y", 1)
+	m.AddConstraint("a", []Term{{x, 1}, {y, 1}}, LE, 2)
+	m.AddConstraint("b", []Term{{x, 1}, {y, 1}}, LE, 1)
+	m.AddConstraint("c", []Term{{x, -1}, {y, -1}}, GE, -1) // normalizes to x+y ≤ 1
+	pre := Presolve(m)
+	if pre.Infeasible {
+		t.Fatal("feasible model declared infeasible")
+	}
+	if pre.Model.NumConstraints() != 1 {
+		t.Fatalf("reduced model has %d rows, want 1", pre.Model.NumConstraints())
+	}
+	if rhs := pre.Model.Cons[0].RHS; rhs != 1 {
+		t.Errorf("merged RHS = %v, want the tightest (1)", rhs)
+	}
+}
+
+// TestPresolveDedupEQConflict: identical =-rows with different RHS prove
+// infeasibility.
+func TestPresolveDedupEQConflict(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddBinary("x", 1)
+	y := m.AddBinary("y", 1)
+	m.AddConstraint("a", []Term{{x, 1}, {y, 1}}, EQ, 1)
+	m.AddConstraint("b", []Term{{x, 1}, {y, 1}}, EQ, 2)
+	if pre := Presolve(m); !pre.Infeasible {
+		t.Error("conflicting duplicate equalities not detected as infeasible")
+	}
+}
+
+// TestPresolveCliqueDomination: a set-packing row whose literals are a subset
+// of another packing row's is implied by it and dropped.
+func TestPresolveCliqueDomination(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddBinary("x", 1)
+	y := m.AddBinary("y", 1)
+	z := m.AddBinary("z", 1)
+	m.AddConstraint("sub", []Term{{x, 1}, {y, 1}}, LE, 1)
+	m.AddConstraint("super", []Term{{x, 1}, {y, 1}, {z, 1}}, LE, 1)
+	pre := Presolve(m)
+	if pre.Infeasible {
+		t.Fatal("feasible model declared infeasible")
+	}
+	if pre.Stats.CliquesMerged != 1 {
+		t.Errorf("CliquesMerged = %d, want 1", pre.Stats.CliquesMerged)
+	}
+	if pre.Model.NumConstraints() != 1 {
+		t.Errorf("reduced model has %d rows, want 1", pre.Model.NumConstraints())
+	}
+	sol, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 1 {
+		t.Errorf("objective = %v, want 1 (at most one of x,y,z)", sol.Objective)
+	}
+}
+
+// TestPresolveDualityFix: an empty column with positive objective under
+// maximize sits at its upper bound; negative objective at its lower bound.
+func TestPresolveDualityFix(t *testing.T) {
+	m := NewModel(Maximize)
+	up := m.AddVar("up", Integer, 0, 3, 2)
+	dn := m.AddVar("dn", Integer, 0, 3, -2)
+	_ = up
+	_ = dn
+	pre := Presolve(m)
+	if pre.Stats.VarsFixed != 2 || pre.Model.NumVars() != 0 {
+		t.Fatalf("empty columns not fixed: %+v", pre.Stats)
+	}
+	sol, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 6 || sol.Values[0] != 3 || sol.Values[1] != 0 {
+		t.Errorf("objective %v values %v, want 6 [3 0]", sol.Objective, sol.Values)
+	}
+}
+
+// TestPresolveObjConstAndLift: a GE-singleton fixes a column with objective
+// weight; the lifted solution restores the column's value and the objective
+// constant on both objective and bound.
+func TestPresolveObjConstAndLift(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddBinary("x", 5)
+	y := m.AddBinary("y", 1)
+	z := m.AddBinary("z", 1)
+	m.AddConstraint("force", []Term{{x, 1}}, GE, 1)
+	m.AddConstraint("choose", []Term{{y, 1}, {z, 1}}, EQ, 1)
+	pre := Presolve(m)
+	if pre.Infeasible {
+		t.Fatal("feasible model declared infeasible")
+	}
+	if pre.Stats.VarsFixed != 1 || pre.Model.NumVars() != 2 {
+		t.Fatalf("want exactly x fixed: %+v, %d vars left", pre.Stats, pre.Model.NumVars())
+	}
+	sol, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || sol.Objective != 6 {
+		t.Errorf("status %v objective %v, want optimal 6", sol.Status, sol.Objective)
+	}
+	if sol.Bound != 6 {
+		t.Errorf("bound %v, want 6 (objective constant lifted into the bound)", sol.Bound)
+	}
+	if sol.Values[0] != 1 {
+		t.Errorf("fixed column not restored: values %v", sol.Values)
+	}
+	if !m.IsFeasible(sol.Values, 1e-9) {
+		t.Errorf("lifted point infeasible in the original model: %v", sol.Values)
+	}
+}
+
+// TestPresolveDetectsInfeasible: presolve proves infeasibility before the
+// solver runs, and Solve reports it with the presolve stats attached.
+func TestPresolveDetectsInfeasible(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddBinary("x", 1)
+	y := m.AddBinary("y", 1)
+	m.AddConstraint("impossible", []Term{{x, 1}, {y, 1}}, GE, 3)
+	pre := Presolve(m)
+	if !pre.Infeasible {
+		t.Fatal("x+y ≥ 3 over binaries not detected as infeasible")
+	}
+	sol, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Errorf("solve status %v, want infeasible", sol.Status)
+	}
+	if sol.Presolve.Rounds == 0 {
+		t.Error("presolve stats missing from the infeasible solution")
+	}
+}
+
+// TestPresolveRestrictLiftRoundtrip: point maps drop fixed columns on the way
+// in and restore them on the way out; malformed seeds vanish (nil).
+func TestPresolveRestrictLiftRoundtrip(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddBinary("x", 5)
+	y := m.AddBinary("y", 1)
+	z := m.AddBinary("z", 1)
+	m.AddConstraint("force", []Term{{x, 1}}, GE, 1)
+	m.AddConstraint("choose", []Term{{y, 1}, {z, 1}}, EQ, 1)
+	pre := Presolve(m)
+	if pre.Model.NumVars() != 2 {
+		t.Fatalf("want a 2-var reduced model, got %d", pre.Model.NumVars())
+	}
+	r := pre.RestrictPoint([]float64{1, 0.25, 0.75})
+	if len(r) != 2 || r[0] != 0.25 || r[1] != 0.75 {
+		t.Errorf("RestrictPoint = %v, want [0.25 0.75]", r)
+	}
+	l := pre.LiftPoint(r)
+	if len(l) != 3 || l[0] != 1 || l[1] != 0.25 || l[2] != 0.75 {
+		t.Errorf("LiftPoint = %v, want [1 0.25 0.75]", l)
+	}
+	if pre.RestrictPoint(nil) != nil {
+		t.Error("RestrictPoint(nil) != nil")
+	}
+	if pre.RestrictPoint([]float64{1}) != nil {
+		t.Error("length-mismatched seed not rejected")
+	}
+}
+
+// TestPresolveIdentity: a model with nothing to reduce passes through
+// untouched — same *Model pointer, zero stats, passthrough point maps.
+func TestPresolveIdentity(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddBinary("x", 5)
+	y := m.AddBinary("y", 4)
+	z := m.AddBinary("z", 3)
+	m.AddConstraint("cap", []Term{{x, 2}, {y, 2}, {z, 2}}, LE, 4)
+	pre := Presolve(m)
+	if pre.Model != m {
+		t.Error("identity presolve did not alias the input model")
+	}
+	if pre.Stats.VarsFixed != 0 || pre.Stats.RowsDropped != 0 {
+		t.Errorf("identity presolve reported work: %+v", pre.Stats)
+	}
+	seed := []float64{1, 1, 0}
+	if r := pre.RestrictPoint(seed); &r[0] != &seed[0] {
+		t.Error("identity RestrictPoint did not pass the slice through")
+	}
+}
+
+// TestPresolveInfiniteBounds: unbounded continuous columns must not poison
+// activity analysis — the coupled row stays, and the solve still finishes.
+func TestPresolveInfiniteBounds(t *testing.T) {
+	m := NewModel(Minimize)
+	x := m.AddVar("x", Continuous, 0, Inf, 1)
+	y := m.AddVar("y", Continuous, 0, Inf, 1)
+	m.AddConstraint("need", []Term{{x, 1}, {y, 1}}, GE, 2)
+	sol, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || math.Abs(sol.Objective-2) > 1e-9 {
+		t.Errorf("status %v objective %v, want optimal 2", sol.Status, sol.Objective)
+	}
+}

@@ -84,7 +84,25 @@ type Options struct {
 	// Warm restarts never change results — this switch exists for bisection
 	// and for measuring their speedup, not for correctness workarounds.
 	DisableWarmStart bool
+	// DisablePresolve skips the model-reduction pass that normally runs
+	// before branch-and-bound (see presolve.go). Presolve never changes the
+	// optimal objective and lifts solutions back to the full variable space,
+	// so this switch exists for bisection and parity testing, not for
+	// correctness workarounds.
+	DisablePresolve bool
+	// SerialCutoff routes models whose vars×rows product (after presolve)
+	// falls below it to the serial driver even when Workers > 1: on small
+	// trees the pool's coordination overhead exceeds the parallel speedup.
+	// 0 uses DefaultSerialCutoff; negative disables the routing so Workers
+	// is always honored.
+	SerialCutoff int
 }
+
+// DefaultSerialCutoff is the vars×rows product below which multi-worker
+// solves fall back to the serial driver. Measured on the batched-solve
+// suite: 24-job batches (≈5k after presolve) lose a few percent to pool
+// coordination while 48-job batches (≈15k) win from it.
+const DefaultSerialCutoff = 8192
 
 // effectiveWorkers resolves Workers to a concrete worker count.
 func (o Options) effectiveWorkers() int {
@@ -97,12 +115,13 @@ func (o Options) effectiveWorkers() int {
 // Solution is the result of a Solve call.
 type Solution struct {
 	Status    Status
-	Objective float64   // objective of Values (valid unless NoSolution/Infeasible)
-	Bound     float64   // best proven bound on the optimum
-	Values    []float64 // one entry per model variable
-	Nodes     int       // branch-and-bound nodes explored
-	Workers   int       // branch-and-bound workers used by the search
-	LP        LPStats   // LP-kernel telemetry summed over all relaxations
+	Objective float64       // objective of Values (valid unless NoSolution/Infeasible)
+	Bound     float64       // best proven bound on the optimum
+	Values    []float64     // one entry per model variable
+	Nodes     int           // branch-and-bound nodes explored
+	Workers   int           // branch-and-bound workers used by the search
+	LP        LPStats       // LP-kernel telemetry summed over all relaxations
+	Presolve  PresolveStats // model-reduction telemetry (zero when presolve is disabled)
 	Runtime   time.Duration
 }
 
@@ -256,9 +275,44 @@ func Solve(model *Model, opts Options) (*Solution, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
+	if !opts.DisablePresolve {
+		pre := Presolve(model)
+		if pre.Infeasible {
+			return &Solution{Status: StatusInfeasible, Workers: opts.effectiveWorkers(), Presolve: pre.Stats, Runtime: time.Since(start)}, nil
+		}
+		ropts := opts
+		ropts.DisablePresolve = true
+		if !pre.identity {
+			ropts.InitialSolution = pre.RestrictPoint(opts.InitialSolution)
+			if opts.Heuristic != nil {
+				h := opts.Heuristic
+				ropts.Heuristic = func(relax []float64) []float64 {
+					return pre.RestrictPoint(h(pre.LiftPoint(relax)))
+				}
+			}
+		}
+		red, err := Solve(pre.Model, ropts)
+		if err != nil {
+			return nil, err
+		}
+		sol := pre.Lift(red)
+		sol.Runtime = time.Since(start)
+		return sol, nil
+	}
 	workers := opts.effectiveWorkers()
 	if len(model.Vars) == 0 {
 		return &Solution{Status: StatusOptimal, Values: nil, Workers: workers, Runtime: time.Since(start)}, nil
+	}
+	if workers > 1 {
+		// Small models lose more to pool coordination than they gain from
+		// parallel tree search; route them to the serial driver.
+		cutoff := opts.SerialCutoff
+		if cutoff == 0 {
+			cutoff = DefaultSerialCutoff
+		}
+		if cutoff > 0 && len(model.Vars)*len(model.Cons) < cutoff {
+			workers = 1
+		}
 	}
 	p := newLP(model)
 	maximize := model.Sense == Maximize

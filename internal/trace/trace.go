@@ -241,6 +241,21 @@ func (s Span) End(args ...Arg) {
 	s.t.record(KindSpan, s.cat, s.name, s.start, end-s.start, args)
 }
 
+// Complete records a span whose duration was measured externally (e.g. a
+// sub-phase timed inside a library call); the span is taken to end now and
+// start d earlier, clamped to the tracer epoch.
+func (t *Tracer) Complete(cat, name string, d time.Duration, args ...Arg) {
+	if t == nil {
+		return
+	}
+	end := t.now()
+	start := end - int64(d)
+	if start < 0 {
+		start = 0
+	}
+	t.record(KindSpan, cat, name, start, end-start, args)
+}
+
 // Instant records a point event.
 func (t *Tracer) Instant(cat, name string, args ...Arg) {
 	if t == nil {

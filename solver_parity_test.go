@@ -195,6 +195,67 @@ func BenchmarkBatchedSolve48Parallel(b *testing.B) {
 	benchBatchedSolve(b, 48, runtime.GOMAXPROCS(0))
 }
 
+// TestSerialRoutingCrossover verifies the small-model routing decision on
+// both sides of milp.DefaultSerialCutoff: a 24-job batch reduces below the
+// cutoff, so a multi-worker solve runs the serial driver (Workers=1 in the
+// solution); a 48-job batch stays above it and keeps the parallel driver;
+// and SerialCutoff=-1 disables routing entirely.
+func TestSerialRoutingCrossover(t *testing.T) {
+	small := batchedModel(t, 24, 1)
+	routed, err := milp.Solve(small.Model, milp.Options{Gap: 0.1, Workers: 4, Heuristic: small.GreedyRound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routed.Workers != 1 {
+		t.Errorf("below-cutoff model: Workers = %d, want 1 (routed to serial driver)", routed.Workers)
+	}
+	forced, err := milp.Solve(small.Model, milp.Options{Gap: 0.1, Workers: 4, SerialCutoff: -1, Heuristic: small.GreedyRound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Workers != 4 {
+		t.Errorf("SerialCutoff=-1: Workers = %d, want 4 (routing disabled)", forced.Workers)
+	}
+	if diff := math.Abs(routed.Objective - forced.Objective); diff > 0.1/(1-0.1)*math.Abs(forced.Objective)+1e-6 {
+		t.Errorf("routing changed the solution beyond the gap: %.9f vs %.9f", routed.Objective, forced.Objective)
+	}
+	big := batchedModel(t, 48, 1)
+	par, err := milp.Solve(big.Model, milp.Options{Gap: 0.1, Workers: 4, Heuristic: big.GreedyRound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Workers != 4 {
+		t.Errorf("above-cutoff model: Workers = %d, want 4 (parallel driver)", par.Workers)
+	}
+}
+
+// benchSmallModelRouting pins the serial-routing crossover: a 24-job batch
+// reduces to ≈4.7k vars×rows after presolve — below milp.DefaultSerialCutoff
+// — so a Workers-per-CPU solve routes to the serial driver; SerialCutoff=-1
+// forces the parallel driver on the same model and measures the coordination
+// overhead the routing avoids. Deliberately named outside the Makefile's
+// bench regex: the pair pins a ratio against each other, not an absolute
+// number tracked in BENCH_milp.json.
+func benchSmallModelRouting(b *testing.B, cutoff int) {
+	comp := batchedModel(b, 24, 1)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := milp.Solve(comp.Model, milp.Options{
+			Gap: 0.1, Workers: workers, SerialCutoff: cutoff, Heuristic: comp.GreedyRound,
+		})
+		if err != nil || sol.Values == nil {
+			b.Fatalf("solve failed: %v", err)
+		}
+	}
+}
+
+func BenchmarkSmallModelRoutedSerial(b *testing.B)   { benchSmallModelRouting(b, 0) }
+func BenchmarkSmallModelForcedParallel(b *testing.B) { benchSmallModelRouting(b, -1) }
+
 // decomposableModel compiles a batch that provably splits: nBlocks disjoint
 // node blocks with jobsPer jobs each, every job a Max over deferred starts on
 // its own block. Blocks never share capacity, so Components() must return at
@@ -325,6 +386,86 @@ func TestDecompositionParityProperty(t *testing.T) {
 			}
 			if !reflect.DeepEqual(merged.Values, again.Values) {
 				t.Errorf("seed %d: deterministic decomposed runs diverged", seed)
+			}
+		}
+	}
+}
+
+// TestPresolveParityProperty is the property test of the presolve acceptance
+// criteria: across ≥200 seeded compiled instances, solves with presolve on
+// vs DisablePresolve agree on objective within the configured gap, lifted
+// solutions are full-length and feasible in the original (unreduced) model,
+// and deterministic presolved reruns return byte-identical values. The stats
+// assertions keep the kill switch honest: presolved runs must report their
+// reduction work and disabled runs must report none.
+func TestPresolveParityProperty(t *testing.T) {
+	const instances = 220
+	for i := 0; i < instances; i++ {
+		seed := int64(5000 + i)
+		r := rand.New(rand.NewSource(seed))
+		var comp *compiler.Compiled
+		if i%2 == 0 {
+			comp = batchedModel(t, 2+r.Intn(6), seed)
+		} else {
+			comp = decomposableModel(t, 1+r.Intn(3), 1+r.Intn(3), seed)
+		}
+		gap := 0.0
+		if i%3 == 1 {
+			gap = 0.1
+		}
+		opts := milp.Options{Gap: gap, Workers: 2, Deterministic: true, Heuristic: comp.GreedyRound}
+		on, err := milp.Solve(comp.Model, opts)
+		if err != nil {
+			t.Fatalf("seed %d: presolved solve: %v", seed, err)
+		}
+		offOpts := opts
+		offOpts.DisablePresolve = true
+		off, err := milp.Solve(comp.Model, offOpts)
+		if err != nil {
+			t.Fatalf("seed %d: presolve-off solve: %v", seed, err)
+		}
+		if on.Values == nil || off.Values == nil {
+			t.Fatalf("seed %d: missing values (on=%v off=%v)", seed, on.Status, off.Status)
+		}
+
+		// Objective parity within the configured gap: each side is within gap
+		// of the true optimum, so they differ by at most gap/(1−gap)·|obj|.
+		tol := 1e-6
+		if gap > 0 {
+			tol += gap / (1 - gap) * math.Max(math.Abs(on.Objective), math.Abs(off.Objective))
+		}
+		if diff := math.Abs(on.Objective - off.Objective); diff > tol {
+			t.Errorf("seed %d (gap %.2f): presolved %.9f vs direct %.9f differ by %.9f > %.9f",
+				seed, gap, on.Objective, off.Objective, diff, tol)
+		}
+
+		// The lifted solution must be a full-space point feasible in the
+		// original model — the postsolve contract.
+		if len(on.Values) != comp.Model.NumVars() {
+			t.Fatalf("seed %d: lifted solution has %d values for a %d-var model",
+				seed, len(on.Values), comp.Model.NumVars())
+		}
+		if !comp.Model.IsFeasible(on.Values, 1e-6) {
+			t.Errorf("seed %d: lifted presolved point infeasible in the original model", seed)
+		}
+
+		// Kill-switch honesty: compiled models always have structure to
+		// reduce, so presolve must report work; disabled runs must not.
+		if on.Presolve.Rounds == 0 {
+			t.Errorf("seed %d: presolved run reports zero fixpoint rounds", seed)
+		}
+		if off.Presolve != (milp.PresolveStats{}) {
+			t.Errorf("seed %d: DisablePresolve left presolve activity %+v", seed, off.Presolve)
+		}
+
+		// Deterministic presolved reruns are byte-identical.
+		if i%8 == 0 {
+			again, err := milp.Solve(comp.Model, opts)
+			if err != nil {
+				t.Fatalf("seed %d: repeat presolved solve: %v", seed, err)
+			}
+			if !reflect.DeepEqual(on.Values, again.Values) {
+				t.Errorf("seed %d: deterministic presolved runs diverged", seed)
 			}
 		}
 	}
