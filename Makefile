@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test test-short race bench bench-all bench-smoke cover experiments experiments-quick examples clean
+.PHONY: all verify build vet test test-short race bench bench-compare bench-all bench-smoke cover experiments experiments-quick examples clean
 
 all: build vet test race
 
@@ -33,6 +33,16 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench='BenchmarkBatchedSolve|BenchmarkSchedulerCycle' -benchmem -count=6 . \
 		| $(GO) run ./cmd/benchjson -o BENCH_milp.json
+
+# Regression gate: re-run the tracked benchmarks and diff mean ns/op against
+# the committed BENCH_milp.json baseline. Exits non-zero if any benchmark's
+# mean regresses more than the threshold (default +10%; tune with
+# `go run ./cmd/benchjson -compare BENCH_milp.json -threshold 0.15`).
+# Numbers are only comparable on the machine that produced the baseline —
+# run this locally before `make bench` rewrites the baseline, not in CI.
+bench-compare:
+	$(GO) test -run='^$$' -bench='BenchmarkBatchedSolve|BenchmarkSchedulerCycle' -benchmem -count=6 . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_milp.json
 
 # Every benchmark in the repo (reduced-scale paper tables/figures included).
 bench-all:

@@ -161,6 +161,117 @@ func BenchmarkSchedulerCycleMultiComponent(b *testing.B) {
 	}
 }
 
+// benchSchedulerCycleChurn measures one steady-state TetriSched cycle on an
+// RC256 cluster as a function of churn — the incremental layer's headline
+// quantity (cycle cost proportional to change, not cluster size). Eight
+// overrunning whole-cluster blockers pin every believed release slice at 1,
+// and eight data-local SLO residents per block (binding block supply rows
+// keep each block one component) defer in place with identical solve
+// inputs cycle after cycle. churnPct percent of the 64 residents arrive
+// fresh each cycle (fractional accumulator) as short-deadline jobs on a
+// rotating block, dirtying that block's component for the 2–3 cycles they
+// live. The scheduler is rebuilt each epoch, inside the resident deadlines'
+// identity band, so leaf values never shift mid-measurement.
+func benchSchedulerCycleChurn(b *testing.B, churnPct int, disableIncremental bool) {
+	c := cluster.RC256(false)
+	const (
+		blocks     = 8
+		perBlock   = 9
+		warmCycles = 16
+		epochLen   = 60 // measured cycles per scheduler epoch
+	)
+	// Mixed widths over an 8-node block with 3-slice durations make each
+	// component a genuine packing MILP (oversubscribed ~108 node-slices of
+	// demand against 72 of supply) rather than a one-job-fits horizon pick.
+	// This exact mix sits in a measured sweet spot: ~50ms per cold cycle —
+	// expensive enough that solving dominates compilation, yet 40x below the
+	// 2s solver time limit (time-limited solves return Feasible, which the
+	// reuse cache rightly refuses to store).
+	widths := [perBlock]int{2, 3, 5, 7, 2, 3, 5, 7, 2}
+	blockData := func(g int) []int {
+		data := make([]int, 8)
+		for i := range data {
+			data[i] = g*32 + i
+		}
+		return data
+	}
+	free := bitset.New(c.N()) // ground truth: never free while blockers run
+	var sched *core.Scheduler
+	var now int64
+	cyclesLeft := 0
+	nextID := 1000
+	acc, rot := 0, 0
+	newEpoch := func() {
+		sched = core.New(c, core.Config{CyclePeriod: 4, PlanAhead: 40, MaxBatch: 192,
+			DisableIncremental: disableIncremental})
+		for g := 0; g < blocks; g++ {
+			sched.Submit(0, &workload.Job{ID: 900 + g, Class: workload.BestEffort,
+				Type: workload.Unconstrained, Submit: 0, K: 32, BaseRuntime: 4, Slowdown: 1})
+		}
+		sched.Cycle(0, c.All()) // blockers launch, then overrun forever
+		id := 0
+		for g := 0; g < blocks; g++ {
+			for j := 0; j < perBlock; j++ {
+				// Slowdown 40 culls the 480s whole-cluster fallback against the
+				// 390s deadline; the deadline stays non-binding for the local
+				// options through the whole epoch (16+60 cycles end at t=304,
+				// inside the identity band that closes at t=342).
+				sched.Submit(4, &workload.Job{ID: id, Class: workload.SLO, Reserved: true,
+					Type: workload.DataLocal, Submit: 4, K: widths[j], BaseRuntime: 12, Slowdown: 40,
+					Deadline: 390, DataNodes: blockData(g)})
+				id++
+			}
+		}
+		now = 4
+		for i := 0; i < warmCycles; i++ {
+			sched.Cycle(now, free)
+			now += 4
+		}
+		cyclesLeft = epochLen
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cyclesLeft == 0 {
+			b.StopTimer()
+			newEpoch()
+			b.StartTimer()
+		}
+		acc += churnPct * blocks * perBlock
+		for acc >= 100 {
+			acc -= 100
+			// One live start choice (slice 1; slice 0 is capacity-culled, the
+			// whole-cluster fallback value-culled) and a 1-slice duration: the
+			// arrival dirties its block's component and forces a fresh solve
+			// on entry and again on exit without reshaping the packing MILP.
+			sched.Submit(now, &workload.Job{ID: nextID, Class: workload.SLO, Reserved: true,
+				Type: workload.DataLocal, Submit: now, K: 2, BaseRuntime: 4, Slowdown: 40,
+				Deadline: now + 10, DataNodes: blockData(rot % blocks)})
+			nextID++
+			rot++
+		}
+		sched.Cycle(now, free)
+		now += 4
+		cyclesLeft--
+	}
+	b.StopTimer()
+	if !disableIncremental && sched.Stats.ReuseHits == 0 {
+		b.Fatal("steady-state churn benchmark recorded no reuse hits; it is not measuring replay")
+	}
+	if disableIncremental && sched.Stats.ReuseHits+sched.Stats.ReuseMisses != 0 {
+		b.Fatal("cold churn benchmark touched the reuse machinery")
+	}
+}
+
+// Churn sweep: percentage of the 64 residents replaced per cycle. Churn0 is
+// the pure steady state (every component replays); ChurnCold runs the
+// low-churn workload with DisableIncremental — the cold baseline the ≤30%
+// steady-state acceptance ratio in BENCH_milp.json is measured against.
+func BenchmarkSchedulerCycleChurn0(b *testing.B)    { benchSchedulerCycleChurn(b, 0, false) }
+func BenchmarkSchedulerCycleChurn1(b *testing.B)    { benchSchedulerCycleChurn(b, 1, false) }
+func BenchmarkSchedulerCycleChurn10(b *testing.B)   { benchSchedulerCycleChurn(b, 10, false) }
+func BenchmarkSchedulerCycleChurn50(b *testing.B)   { benchSchedulerCycleChurn(b, 50, false) }
+func BenchmarkSchedulerCycleChurnCold(b *testing.B) { benchSchedulerCycleChurn(b, 1, true) }
+
 // BenchmarkEndToEndGSHET runs a small full simulation (workload → admission
 // → scheduling → metrics) per iteration.
 func BenchmarkEndToEndGSHET(b *testing.B) {

@@ -57,6 +57,7 @@ func main() {
 		workers   = flag.Int("solver-workers", 0, "branch-and-bound workers per MILP solve (0 = one per CPU)")
 		gap       = flag.Float64("gap", 0.1, "relative MIP gap")
 		noPresolv = flag.Bool("no-presolve", false, "disable MILP presolve/model reduction (bisection switch)")
+		noIncr    = flag.Bool("no-incremental", false, "disable cross-cycle component reuse (bisection switch)")
 		traceRing = flag.Int("trace-ring", 16384, "trace ring size in events served by /v1/trace (0 disables tracing)")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = pprof disabled)")
 		drain     = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
@@ -84,17 +85,18 @@ func main() {
 		tr = trace.New(*traceRing)
 	}
 	sched := core.New(c, core.Config{
-		CyclePeriod:      *cycle,
-		PlanQuantum:      *quantum,
-		PlanAhead:        *planAhead,
-		Greedy:           *greedy,
-		NoHet:            *noHet,
-		EnablePreemption: *preempt,
-		SolverTimeLimit:  *limit,
-		SolverWorkers:    workerCount(*workers),
-		Gap:              *gap,
-		DisablePresolve:  *noPresolv,
-		Tracer:           tr,
+		CyclePeriod:        *cycle,
+		PlanQuantum:        *quantum,
+		PlanAhead:          *planAhead,
+		Greedy:             *greedy,
+		NoHet:              *noHet,
+		EnablePreemption:   *preempt,
+		SolverTimeLimit:    *limit,
+		SolverWorkers:      workerCount(*workers),
+		Gap:                *gap,
+		DisablePresolve:    *noPresolv,
+		DisableIncremental: *noIncr,
+		Tracer:             tr,
 	})
 	api := httpapi.NewServer(sched, c.N()).SetTracer(tr)
 	srv := &http.Server{Addr: *listen, Handler: api.Handler()}

@@ -44,6 +44,7 @@ func main() {
 		limit       = flag.Duration("solver-limit", 300*time.Millisecond, "MILP time limit per solve")
 		workers     = flag.Int("solver-workers", 1, "branch-and-bound workers per MILP solve (0 = one per CPU)")
 		noPresolve  = flag.Bool("no-presolve", false, "disable MILP presolve/model reduction (bisection switch)")
+		noIncr      = flag.Bool("no-incremental", false, "disable cross-cycle component reuse (bisection switch)")
 		verbose     = flag.Bool("v", false, "print per-job outcomes")
 		gantt       = flag.Bool("gantt", false, "render the space-time schedule grid")
 		saveTrace   = flag.String("save-trace", "", "write the generated workload to a JSON trace file")
@@ -129,7 +130,7 @@ func main() {
 	var sched sim.Scheduler
 	base := core.Config{CyclePeriod: *cycle, PlanAhead: *planAhead, PlanQuantum: *planQuantum,
 		SolverTimeLimit: *limit, SolverWorkers: solverWorkers(*workers), Tracer: tracer,
-		DisablePresolve: *noPresolve}
+		DisablePresolve: *noPresolve, DisableIncremental: *noIncr}
 	switch strings.ToLower(*schedName) {
 	case "tetrisched", "full":
 		sched = core.New(c, base)
@@ -187,6 +188,8 @@ func main() {
 				st.Solves, st.Nodes, st.MaxNodes, st.Workers, st.LPIters, st.Phase1, st.WarmLPs, st.ColdLPs, st.Decomposed, st.Components)
 			fmt.Printf("presolve: vars-fixed=%d rows-dropped=%d cliques-merged=%d rounds=%d time=%v\n",
 				st.PresolveFixed, st.PresolveRows, st.PresolveCliques, st.PresolveRounds, st.PresolveTime.Round(time.Microsecond))
+			fmt.Printf("reuse: hits=%d misses=%d hit-rate=%.1f%%\n",
+				st.ReuseHits, st.ReuseMisses, 100*st.ReuseHitRate())
 		}
 		fmt.Println("\n  id class type  k   submit    start   finish deadline  outcome")
 		for i := range res.Stats {

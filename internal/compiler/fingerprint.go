@@ -1,0 +1,190 @@
+package compiler
+
+import (
+	"math"
+	"sort"
+)
+
+// This file computes cross-cycle component fingerprints for the scheduler's
+// incremental reuse cache (docs/SOLVER.md "Incremental scheduling").
+//
+// Two compilations of the same job set may replay a cached sub-solution only
+// when every input the sub-solve reads is identical, so the fingerprint must
+// cover (a) the component's model mathematics and (b) everything the
+// GreedyRound incumbent heuristic consumes beyond the model: the per-leaf
+// lowering records and the availability ledger of every partition group the
+// component touches. Variable and constraint names are excluded — they embed
+// batch positions and global group numbers, both of which shift when
+// unrelated jobs come and go even though the component's own math is
+// unchanged. For the same reason partition-group indices are renumbered by
+// first appearance within the component before hashing.
+
+// fnv64 is an inline FNV-1a accumulator (hash/fnv forces a []byte round trip
+// per write; the fingerprint is on the per-cycle hot path).
+type fnv64 uint64
+
+const (
+	fnvOffset fnv64 = 14695981039346656037
+	fnvPrime  fnv64 = 1099511628211
+)
+
+func (h *fnv64) u64(v uint64) {
+	x := *h
+	for i := 0; i < 8; i++ {
+		x ^= fnv64(v & 0xff)
+		x *= fnvPrime
+		v >>= 8
+	}
+	*h = x
+}
+
+func (h *fnv64) i64(v int64)   { h.u64(uint64(v)) }
+func (h *fnv64) f64(v float64) { h.u64(math.Float64bits(v)) }
+func (h *fnv64) bool(v bool) {
+	if v {
+		h.u64(1)
+	} else {
+		h.u64(0)
+	}
+}
+
+// HashInts folds a slice of ints (e.g. a component's job IDs) into a key.
+func HashInts(vals []int) uint64 {
+	h := fnvOffset
+	h.i64(int64(len(vals)))
+	for _, v := range vals {
+		h.i64(int64(v))
+	}
+	return uint64(h)
+}
+
+// HashFloatsInto folds a float vector into an existing fingerprint; a nil
+// vector hashes differently from an empty or zero one, so "no seed" and
+// "all-zero seed" produce distinct fingerprints.
+func HashFloatsInto(fp uint64, vec []float64) uint64 {
+	h := fnv64(fp)
+	if vec == nil {
+		h.i64(-1)
+		return uint64(h)
+	}
+	h.i64(int64(len(vec)))
+	for _, v := range vec {
+		h.f64(v)
+	}
+	return uint64(h)
+}
+
+// ComponentFingerprint returns a canonical digest of everything a component
+// sub-solve reads: the sliced model's mathematics (variable types, bounds and
+// objective coefficients; constraint operators, right-hand sides and term
+// lists, in emission order) plus the GreedyRound inputs — each job's leaf
+// records (shape, k, start, dur, value, culled/single flags) and the
+// availability row of every partition group those leaves reference. Equal
+// fingerprints across cycles mean the sub-solve would run on byte-identical
+// inputs, so its prior solution can be replayed verbatim.
+func (c *Compiled) ComponentFingerprint(cc *Component) uint64 {
+	h := fnvOffset
+	m := cc.Model
+	h.i64(int64(m.Sense))
+	h.i64(int64(m.NumVars()))
+	for i := range m.Vars {
+		v := &m.Vars[i]
+		h.i64(int64(v.Type))
+		h.f64(v.Lb)
+		h.f64(v.Ub)
+		h.f64(v.Obj)
+	}
+	h.i64(int64(len(m.Cons)))
+	for i := range m.Cons {
+		con := &m.Cons[i]
+		h.i64(int64(con.Op))
+		h.f64(con.RHS)
+		h.i64(int64(len(con.Terms)))
+		for _, t := range con.Terms {
+			h.i64(int64(t.Var))
+			h.f64(t.Coef)
+		}
+	}
+
+	// Heuristic state: leaf records in compilation order, restricted to the
+	// component's jobs (jobs hashed by position within the component, not by
+	// batch index), with group indices renumbered by first appearance. The
+	// first reference to a group also hashes its availability row — capacity
+	// changes anywhere the component can place work invalidate the print.
+	pos := make(map[int]int, len(cc.Jobs))
+	for i, j := range cc.Jobs {
+		pos[j] = i
+	}
+	renum := make(map[int]int)
+	group := func(g int) {
+		ci, seen := renum[g]
+		if !seen {
+			ci = len(renum)
+			renum[g] = ci
+			h.bool(true)
+			row := c.avail[g]
+			h.i64(int64(len(row)))
+			for _, n := range row {
+				h.i64(n)
+			}
+		} else {
+			h.bool(false)
+		}
+		h.i64(int64(ci))
+	}
+	for _, rec := range c.leaves {
+		p, ok := pos[rec.job]
+		if !ok {
+			continue
+		}
+		h.i64(int64(p))
+		h.bool(rec.linear)
+		h.bool(rec.single)
+		h.bool(rec.culled)
+		h.i64(int64(rec.k))
+		h.i64(rec.start)
+		h.i64(rec.dur)
+		h.f64(leafValue(rec.expr))
+		if rec.culled {
+			continue
+		}
+		if rec.single {
+			group(rec.group)
+		} else {
+			h.i64(int64(len(rec.parts)))
+			for _, pv := range rec.parts {
+				group(pv.group)
+			}
+		}
+	}
+	return uint64(h)
+}
+
+// ComponentGroups returns the partition-group indices referenced by the
+// component's non-culled leaves, ascending. The scheduler uses it to decide
+// whether a node whose release slice moved can affect this component.
+func (c *Compiled) ComponentGroups(cc *Component) []int {
+	in := make(map[int]bool, len(cc.Jobs))
+	for _, j := range cc.Jobs {
+		in[j] = true
+	}
+	seen := make(map[int]bool)
+	for _, rec := range c.leaves {
+		if !in[rec.job] || rec.culled {
+			continue
+		}
+		if rec.single {
+			seen[rec.group] = true
+		} else {
+			for _, pv := range rec.parts {
+				seen[pv.group] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for g := range seen {
+		out = append(out, g)
+	}
+	sort.Ints(out)
+	return out
+}

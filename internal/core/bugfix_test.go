@@ -69,6 +69,76 @@ func TestPreemptRescueLaunchesOnFreeNodes(t *testing.T) {
 	}
 }
 
+// TestPreemptRescueEvictsYoungestVictim pins the rescue's victim ordering:
+// "youngest first (least progress wasted)" means most recently *launched*, not
+// latest believed completion. Ordering by estEnd — which overruns bump forward
+// arbitrarily — evicts whichever victim's estimate drifted furthest, here a
+// job that has been running since t=0 and would lose all that progress.
+func TestPreemptRescueEvictsYoungestVictim(t *testing.T) {
+	c := cluster.NewBuilder().AddRack("r0", 4, nil).Build()
+	sched := New(c, Config{CyclePeriod: 4, PlanAhead: 16, Gap: 0, EnablePreemption: true})
+	// Two best-effort victims, each holding half the cluster. The old job has
+	// been running since t=0 but its (overrun-inflated) estimate stretches to
+	// t=100; the young job launched at t=8 and is believed done at t=20.
+	old := &workload.Job{ID: 10, Class: workload.BestEffort, Type: workload.Unconstrained, K: 2, BaseRuntime: 100, Slowdown: 1}
+	young := &workload.Job{ID: 11, Class: workload.BestEffort, Type: workload.Unconstrained, K: 2, BaseRuntime: 12, Slowdown: 1}
+	sched.running[10] = &runInfo{job: old, nodes: []int{0, 1}, estEnd: 100, launched: 0}
+	sched.running[11] = &runInfo{job: young, nodes: []int{2, 3}, estEnd: 20, launched: 8}
+
+	// Deadline 19 at now=12 with runtime 4 leaves start slice 0 as the only
+	// option; nothing is free, so the rescue must preempt exactly one victim.
+	job := &workload.Job{ID: 1, Class: workload.SLO, Reserved: true, Type: workload.Unconstrained, Submit: 12, K: 2, BaseRuntime: 4, Slowdown: 1, Deadline: 19}
+	sched.Submit(12, job)
+	res := sched.Cycle(12, bitset.New(4))
+	if len(res.Decisions) != 1 || res.Decisions[0].Job.ID != job.ID {
+		t.Fatalf("decisions = %+v, want the last-chance SLO job rescued", res.Decisions)
+	}
+	if len(res.Preempted) != 1 || res.Preempted[0].ID != young.ID {
+		t.Fatalf("preempted %+v, want only the youngest victim (job %d)", res.Preempted, young.ID)
+	}
+	if _, ok := sched.running[old.ID]; !ok {
+		t.Errorf("long-running job %d was evicted; it launched first and had the most progress to lose", old.ID)
+	}
+}
+
+// TestWarmStartsCountPerSubSolve pins the warm-start telemetry of a decomposed
+// solve: WarmStarts counts sub-solves that actually received a non-nil seed —
+// two seeded components in one cycle count two, and a cycle with no seed at
+// all counts zero.
+func TestWarmStartsCountPerSubSolve(t *testing.T) {
+	c := cluster.NewBuilder().AddRack("r0", 8, nil).Build()
+	sched := New(c, Config{CyclePeriod: 4, PlanAhead: 32, Gap: 0})
+	// Each half of the cluster is busy until t=12, so both data-local jobs
+	// defer at cycle 0 and re-propose their shifted choices at cycle 1. Their
+	// whole-cluster fallbacks run 2× and blow the deadline, so the batch
+	// splits into one component per job and the cycle-1 seed must be counted
+	// once per component.
+	for i, lo := range []int{0, 4} {
+		blocker := &workload.Job{ID: 100 + i, Class: workload.BestEffort, Type: workload.Unconstrained, K: 4, BaseRuntime: 12, Slowdown: 1}
+		sched.running[blocker.ID] = &runInfo{job: blocker, nodes: []int{lo, lo + 1, lo + 2, lo + 3}, estEnd: 12}
+	}
+	for i, lo := range []int{0, 4} {
+		sched.Submit(0, &workload.Job{
+			ID: i, Class: workload.SLO, Reserved: true, Type: workload.DataLocal, Submit: 0,
+			K: 2, BaseRuntime: 40, Slowdown: 2, Deadline: 60, DataNodes: []int{lo, lo + 1, lo + 2, lo + 3},
+		})
+	}
+	sched.Cycle(0, bitset.New(8))
+	if sched.Stats.WarmStarts != 0 {
+		t.Fatalf("cycle 0 has no previous plan to seed from, got WarmStarts = %d", sched.Stats.WarmStarts)
+	}
+	if len(sched.lastJob) != 2 {
+		t.Fatalf("setup: cycle 0 should defer both jobs, lastJob = %v", sched.lastJob)
+	}
+	sched.Cycle(4, bitset.New(8))
+	if sched.Stats.Components < 2 {
+		t.Fatalf("setup: cycle 1 did not decompose (components = %d)", sched.Stats.Components)
+	}
+	if sched.Stats.WarmStarts != 2 {
+		t.Errorf("WarmStarts = %d, want 2: each seeded component sub-solve counts once", sched.Stats.WarmStarts)
+	}
+}
+
 // TestFailureRestartKeepsFIFOPosition pins orderedPending's FIFO-by-arrival
 // guarantee across requeues: a failure-killed job re-enters the pending queue
 // at the tail, but must still be scheduled before jobs that arrived after it.

@@ -1,0 +1,174 @@
+package core
+
+// Incremental cross-cycle scheduling (docs/SOLVER.md "Incremental
+// scheduling"). Adaptive plan-ahead recompiles a nearly identical MILP every
+// cycle, so a steady-state cluster pays the full cold cost regardless of how
+// little changed. The component seam from the decomposition layer is the unit
+// of reuse: when a component's solve inputs this cycle are byte-identical to
+// last cycle's — witnessed by a fingerprint over the sliced model, the greedy
+// heuristic's state, and the restricted warm-start seed — its cached
+// sub-solution is replayed verbatim instead of being solved again.
+//
+// Replay is deliberately restricted to exact input identity. Anything looser
+// (shifting a stale plan, seeding a changed component with a foreign
+// incumbent beyond the existing lastJob mechanism) would let incremental-on
+// and incremental-off runs diverge inside the MIP gap, and the policy
+// contract (TestIncrementalParityProperty) is byte-identical decisions.
+// Dirty sets are a cheap gate and a collision belt on top: a component
+// touching a dirtied job or a node whose believed release slice moved never
+// consults the cache, so even a fingerprint collision cannot replay across a
+// known change.
+
+import (
+	"tetrisched/internal/bitset"
+	"tetrisched/internal/compiler"
+	"tetrisched/internal/milp"
+	"tetrisched/internal/strlgen"
+)
+
+// reuseEntry is one cached component sub-solution.
+type reuseEntry struct {
+	fp  uint64         // fingerprint of the solve inputs (model + heuristic state + seed)
+	sol *milp.Solution // component-space sub-solution; always StatusOptimal
+	ids []int          // the component's job IDs, for event-driven purges
+}
+
+// incEnabled reports whether the incremental reuse machinery is active.
+// Greedy mode (TetriSched-NG) solves per job with tentative claims threaded
+// between solves — there is no component seam to cache.
+func (s *Scheduler) incEnabled() bool { return !s.cfg.DisableIncremental && !s.cfg.Greedy }
+
+// markJobDirty records that a job's scheduler-visible state changed
+// (arrival, completion, drop, launch, preemption) so any component
+// containing it skips the reuse cache next cycle. No-op when incremental
+// scheduling is off.
+func (s *Scheduler) markJobDirty(id int) {
+	if s.dirtyJobs != nil {
+		s.dirtyJobs[id] = struct{}{}
+	}
+}
+
+// purgeReuse drops every cached component containing the job. The cache
+// epoch is rebuilt each global cycle, but a cycle that ends with no pending
+// work returns before the rebuild, so terminal events (finish, drop) must
+// purge eagerly or entries naming dead jobs would survive a drain.
+func (s *Scheduler) purgeReuse(id int) {
+	for key, ent := range s.reuse {
+		for _, jid := range ent.ids {
+			if jid == id {
+				delete(s.reuse, key)
+				break
+			}
+		}
+	}
+}
+
+// incCycle is one global cycle's view of the incremental state: the dirty
+// sets consumed at cycle start plus the next cache epoch under construction.
+type incCycle struct {
+	s        *Scheduler
+	comp     *compiler.Compiled
+	reqs     []*strlgen.Request
+	dirty    map[int]struct{} // job IDs dirtied since the previous global cycle
+	changed  *bitset.Set      // nodes whose believed release slice moved
+	grpDirty map[int]bool     // memo: partition group → contains a changed node
+	pend     []pendEntry      // per-part key+fingerprint, aligned with the parts
+	next     map[uint64]*reuseEntry
+}
+
+type pendEntry struct {
+	key uint64
+	fp  uint64
+	ids []int
+}
+
+// beginIncCycle consumes the dirty-job set, diffs the believed release
+// slices against the previous cycle's to find changed nodes, and opens the
+// next cache epoch. Marks made later in this cycle (launches, preemptions)
+// land in a fresh set and dirty the following cycle.
+func (s *Scheduler) beginIncCycle(comp *compiler.Compiled, reqs []*strlgen.Request, rel []int64) *incCycle {
+	ic := &incCycle{
+		s: s, comp: comp, reqs: reqs,
+		dirty:    s.dirtyJobs,
+		grpDirty: make(map[int]bool),
+		changed:  bitset.New(s.c.N()),
+		next:     make(map[uint64]*reuseEntry),
+	}
+	s.dirtyJobs = make(map[int]struct{})
+	if s.lastRel == nil {
+		ic.changed.Fill() // first cycle: everything is new
+	} else {
+		for n, r := range rel {
+			if s.lastRel[n] != r {
+				ic.changed.Add(n)
+			}
+		}
+	}
+	s.lastRel = append(s.lastRel[:0], rel...)
+	return ic
+}
+
+// clean reports whether no dirty job and no release-changed node touches the
+// component.
+func (ic *incCycle) clean(cc *compiler.Component) bool {
+	for _, bi := range cc.Jobs {
+		if _, d := ic.dirty[ic.reqs[bi].Job.ID]; d {
+			return false
+		}
+	}
+	if ic.changed.Count() == 0 {
+		return true
+	}
+	for _, g := range ic.comp.ComponentGroups(cc) {
+		d, ok := ic.grpDirty[g]
+		if !ok {
+			d = ic.comp.Part.Groups[g].IntersectCount(ic.changed) > 0
+			ic.grpDirty[g] = d
+		}
+		if d {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup fingerprints the component (with its restricted seed) and returns
+// the cached sub-solution when the component is clean and the fingerprint
+// matches last cycle's; nil means the part must be solved. Every call
+// appends the component's cache identity, in part order, for commit.
+func (ic *incCycle) lookup(cc *compiler.Component, seed []float64) *milp.Solution {
+	ids := make([]int, len(cc.Jobs))
+	for i, bi := range cc.Jobs {
+		ids[i] = ic.reqs[bi].Job.ID
+	}
+	fp := compiler.HashFloatsInto(ic.comp.ComponentFingerprint(cc), seed)
+	key := compiler.HashInts(ids)
+	ic.pend = append(ic.pend, pendEntry{key: key, fp: fp, ids: ids})
+	if !ic.clean(cc) {
+		ic.s.Stats.ReuseMisses++
+		return nil
+	}
+	ent, ok := ic.s.reuse[key]
+	if !ok || ent.fp != fp {
+		ic.s.Stats.ReuseMisses++
+		return nil
+	}
+	ic.s.Stats.ReuseHits++
+	return ent.sol
+}
+
+// commit installs the next cache epoch from this cycle's sub-solutions,
+// aligned with the lookup order. Only parts that proved optimality are
+// cached: a time-limited incumbent is not a reproducible function of the
+// fingerprinted inputs, so replaying one could diverge from a fresh solve.
+// Replayed parts re-enter the epoch unchanged.
+func (ic *incCycle) commit(partSols []*milp.Solution) {
+	for i, sol := range partSols {
+		if i >= len(ic.pend) || sol == nil || sol.Status != milp.StatusOptimal || sol.Values == nil {
+			continue
+		}
+		p := ic.pend[i]
+		ic.next[p.key] = &reuseEntry{fp: p.fp, sol: sol, ids: p.ids}
+	}
+	ic.s.reuse = ic.next
+}

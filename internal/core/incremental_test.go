@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"tetrisched/internal/bitset"
+	"tetrisched/internal/cluster"
+	"tetrisched/internal/sim"
+	"tetrisched/internal/trace"
+	"tetrisched/internal/workload"
+)
+
+// steadyScheduler builds the canonical reuse scenario: two overrunning
+// best-effort blockers pin every node's believed release slice at 1 forever
+// (releaseSlices bumps an overrun estimate to now+CyclePeriod each cycle), and
+// two data-local SLO jobs with far deadlines and a value-culled remote
+// fallback defer in place cycle after cycle. From cycle 1 on, both components'
+// solve inputs are byte-identical to the previous cycle's.
+func steadyScheduler(cfg Config) *Scheduler {
+	c := cluster.NewBuilder().AddRack("r0", 8, nil).Build()
+	sched := New(c, cfg)
+	for i, lo := range []int{0, 4} {
+		blocker := &workload.Job{ID: 100 + i, Class: workload.BestEffort, Type: workload.Unconstrained, K: 4, BaseRuntime: 4, Slowdown: 1}
+		sched.running[blocker.ID] = &runInfo{job: blocker, nodes: []int{lo, lo + 1, lo + 2, lo + 3}, estEnd: 0}
+	}
+	for i, lo := range []int{0, 4} {
+		sched.Submit(0, &workload.Job{
+			ID: i, Class: workload.SLO, Reserved: true, Type: workload.DataLocal, Submit: 0,
+			// Slowdown 10 makes the whole-cluster fallback (400s) blow the
+			// deadline at generation, keeping each job's leaves on its own
+			// block; the local deadline never binds over the test's horizon,
+			// so leaf values are independent of the current time.
+			K: 2, BaseRuntime: 40, Slowdown: 10, Deadline: 300, DataNodes: []int{lo, lo + 1, lo + 2, lo + 3},
+		})
+	}
+	return sched
+}
+
+// TestIncrementalSteadyStateReplays pins the tentpole behavior: in a
+// steady-state cluster (pinned release slices, unchanged pending set) every
+// component after the first cycle replays from the cache, no phantom solver
+// telemetry accumulates, and the first change — a new arrival — invalidates
+// exactly the component it lands in.
+func TestIncrementalSteadyStateReplays(t *testing.T) {
+	tr := trace.New(1 << 12)
+	sched := steadyScheduler(Config{CyclePeriod: 4, PlanAhead: 16, Gap: 0, Tracer: tr})
+	const cycles = 10
+	for i := 0; i < cycles; i++ {
+		res := sched.Cycle(int64(i)*4, bitset.New(8))
+		if len(res.Decisions) != 0 || len(res.Dropped) != 0 {
+			t.Fatalf("cycle %d: unexpected activity %+v; the scenario should defer forever", i, res)
+		}
+	}
+	// Cycle 0 fingerprints both components cold; every later cycle replays
+	// both.
+	if sched.Stats.ReuseMisses != 2 {
+		t.Errorf("ReuseMisses = %d, want 2 (both components, first cycle only)", sched.Stats.ReuseMisses)
+	}
+	if want := 2 * (cycles - 1); sched.Stats.ReuseHits != want {
+		t.Errorf("ReuseHits = %d, want %d (two components replayed per steady cycle)", sched.Stats.ReuseHits, want)
+	}
+	// Fully replayed cycles run no MILP: only cycle 0's decomposed solve may
+	// appear in the solver telemetry.
+	if sched.Stats.Solves != 1 {
+		t.Errorf("Solves = %d, want 1: replayed cycles must not record phantom solves", sched.Stats.Solves)
+	}
+	if sched.Stats.Decomposed != 1 || sched.Stats.Components != 2 {
+		t.Errorf("Decomposed = %d, Components = %d; want only cycle 0's 2 live sub-solves counted",
+			sched.Stats.Decomposed, sched.Stats.Components)
+	}
+	reuseSpans := 0
+	for _, e := range tr.Snapshot() {
+		if e.Name == "solve.reuse" {
+			reuseSpans++
+		}
+	}
+	if want := 2 * (cycles - 1); reuseSpans != want {
+		t.Errorf("recorded %d solve.reuse spans, want %d", reuseSpans, want)
+	}
+
+	// A new arrival in block 0 dirties its component; block 1's component
+	// still replays.
+	hits, misses := sched.Stats.ReuseHits, sched.Stats.ReuseMisses
+	sched.Submit(int64(cycles)*4, &workload.Job{
+		ID: 2, Class: workload.SLO, Reserved: true, Type: workload.DataLocal, Submit: int64(cycles) * 4,
+		K: 2, BaseRuntime: 40, Slowdown: 10, Deadline: 300, DataNodes: []int{0, 1, 2, 3},
+	})
+	sched.Cycle(int64(cycles)*4, bitset.New(8))
+	if got := sched.Stats.ReuseMisses - misses; got != 1 {
+		t.Errorf("arrival invalidated %d components, want exactly 1 (the block it landed in)", got)
+	}
+	if got := sched.Stats.ReuseHits - hits; got != 1 {
+		t.Errorf("untouched component replayed %d times after the arrival, want 1", got)
+	}
+}
+
+// TestIncrementalKillSwitch pins DisableIncremental (and the Greedy variant,
+// which has no component seam): the reuse machinery must be fully inert — no
+// hits, no misses, no cache — while the schedule itself is unchanged.
+func TestIncrementalKillSwitch(t *testing.T) {
+	for _, cfg := range []Config{
+		{CyclePeriod: 4, PlanAhead: 16, Gap: 0, DisableIncremental: true},
+		{CyclePeriod: 4, PlanAhead: 16, Gap: 0, Greedy: true},
+	} {
+		sched := steadyScheduler(cfg)
+		for i := 0; i < 5; i++ {
+			sched.Cycle(int64(i)*4, bitset.New(8))
+		}
+		if sched.Stats.ReuseHits != 0 || sched.Stats.ReuseMisses != 0 {
+			t.Errorf("%s (DisableIncremental=%v): reuse counters moved (hits=%d misses=%d); kill switch must make the machinery inert",
+				cfg.Name(), cfg.DisableIncremental, sched.Stats.ReuseHits, sched.Stats.ReuseMisses)
+		}
+		if sched.reuse != nil || sched.dirtyJobs != nil {
+			t.Errorf("%s (DisableIncremental=%v): reuse state allocated despite the kill switch", cfg.Name(), cfg.DisableIncremental)
+		}
+	}
+	// The enabled steady run must actually hit, so the inert runs above are a
+	// meaningful contrast (kill-switch honesty cuts both ways).
+	sched := steadyScheduler(Config{CyclePeriod: 4, PlanAhead: 16, Gap: 0})
+	for i := 0; i < 5; i++ {
+		sched.Cycle(int64(i)*4, bitset.New(8))
+	}
+	if sched.Stats.ReuseHits == 0 {
+		t.Error("enabled steady-state run recorded no reuse hits; the kill-switch contrast proves nothing")
+	}
+}
+
+// TestIncrementalStateDrains is the cross-cycle leak audit: after a full
+// simulation in which every job completes or is dropped, every per-job map —
+// lastJob, running, pending, and the reuse cache (terminal events purge it
+// eagerly; a drained scheduler sees no further global cycle to rebuild the
+// epoch) — must be empty. dirtyJobs is exempt by design: it is a bounded
+// buffer of recent event marks consumed at the next global cycle, not a
+// per-job registry.
+func TestIncrementalStateDrains(t *testing.T) {
+	c := cluster.RC80(true)
+	jobs, err := workload.Generate(workload.GSHET(15), c, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := New(c, Config{PlanAhead: 48, EnablePreemption: true})
+	if _, err := sim.Run(sim.Config{Cluster: c, Jobs: jobs, Scheduler: sched}); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Pending() != 0 || sched.Running() != 0 {
+		t.Errorf("scheduler not drained: pending=%d running=%d", sched.Pending(), sched.Running())
+	}
+	if len(sched.lastJob) != 0 {
+		t.Errorf("lastJob retains %d entries after drain: %v", len(sched.lastJob), sched.lastJob)
+	}
+	for key, ent := range sched.reuse {
+		t.Errorf("reuse cache retains entry %x for jobs %v after drain", key, ent.ids)
+	}
+}

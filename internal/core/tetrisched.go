@@ -73,6 +73,13 @@ type Config struct {
 	// compiled. A bisection switch like DisableWarmStart — placements are
 	// policy-identical either way, only slower (docs/SOLVER.md).
 	DisablePresolve bool
+	// DisableIncremental turns off cross-cycle component reuse: every cycle
+	// compiles and solves from scratch, the pre-PR-6 behavior. Reuse replays
+	// a cached sub-solution only when a fingerprint proves the component's
+	// solve inputs are byte-identical to last cycle's, so this is a bisection
+	// switch in the DisableWarmStart/DisablePresolve mold — placements are
+	// policy-identical either way, only slower (docs/SOLVER.md).
+	DisableIncremental bool
 	// BEDecay overrides the best-effort value decay horizon in seconds.
 	BEDecay int64
 	// Tracer, when non-nil, records per-cycle spans (generate, compile,
@@ -142,6 +149,12 @@ type SolveStats struct {
 	Decomposed int           // global solves that split into independent components
 	Components int           // sub-MILPs solved across all decomposed solves
 
+	// Incremental-reuse telemetry (internal/core/incremental.go): every
+	// fingerprinted component counts exactly once per cycle, as a hit
+	// (cached sub-solution replayed) or a miss (solved fresh).
+	ReuseHits   int // component sub-solves replayed from the previous cycle
+	ReuseMisses int // fingerprinted components that had to be solved fresh
+
 	// Presolve telemetry (internal/milp/presolve.go), summed across solves.
 	PresolveFixed   int           // variables fixed before branch-and-bound
 	PresolveRows    int           // constraint rows eliminated
@@ -160,6 +173,16 @@ func (st *SolveStats) WarmHitRate() float64 {
 	return float64(st.WarmLPs) / float64(total)
 }
 
+// ReuseHitRate returns the fraction of fingerprinted component sub-solves
+// served by cross-cycle replay (0 when incremental scheduling never ran).
+func (st *SolveStats) ReuseHitRate() float64 {
+	total := st.ReuseHits + st.ReuseMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.ReuseHits) / float64(total)
+}
+
 // MeanSolve returns the mean wall-clock per MILP solve.
 func (st *SolveStats) MeanSolve() time.Duration {
 	if st.Solves == 0 {
@@ -168,16 +191,17 @@ func (st *SolveStats) MeanSolve() time.Duration {
 	return st.Runtime / time.Duration(st.Solves)
 }
 
-// record folds one solve's telemetry into the running totals.
-func (st *SolveStats) record(sol *milp.Solution, warm bool, d time.Duration) {
+// record folds one solve's telemetry into the running totals. warmSeeds is
+// the number of sub-solves that actually received a non-nil incumbent seed —
+// for a decomposed solve that is per component, not per cycle, so a seed the
+// decomposition restricted away from every live component counts zero.
+func (st *SolveStats) record(sol *milp.Solution, warmSeeds int, d time.Duration) {
 	st.Solves++
 	st.Runtime += d
 	if d > st.MaxSolve {
 		st.MaxSolve = d
 	}
-	if warm {
-		st.WarmStarts++
-	}
+	st.WarmStarts += warmSeeds
 	if sol == nil {
 		return
 	}
@@ -199,9 +223,10 @@ func (st *SolveStats) record(sol *milp.Solution, warm bool, d time.Duration) {
 
 // runInfo tracks the scheduler's belief about a running job.
 type runInfo struct {
-	job    *workload.Job
-	nodes  []int
-	estEnd int64 // believed completion; bumped forward when overrun (§7.1)
+	job      *workload.Job
+	nodes    []int
+	estEnd   int64 // believed completion; bumped forward when overrun (§7.1)
+	launched int64 // launch time; preemption evicts the youngest victims first
 }
 
 // planChoice remembers a deferred placement decision for warm-starting the
@@ -222,6 +247,12 @@ type Scheduler struct {
 	lastJob map[int]planChoice
 	tr      *trace.Tracer
 
+	// Incremental cross-cycle reuse state (internal/core/incremental.go);
+	// dirtyJobs and reuse are nil when the machinery is disabled.
+	dirtyJobs map[int]struct{}       // jobs touched since the last global cycle
+	lastRel   []int64                // previous cycle's believed release slices
+	reuse     map[uint64]*reuseEntry // job-set key → cached component sub-solution
+
 	// Stats accumulates solver telemetry for the scalability analysis.
 	Stats SolveStats
 }
@@ -240,7 +271,7 @@ func New(c *cluster.Cluster, cfg Config) *Scheduler {
 	if cfg.BEDecay > 0 {
 		gcfg.BEDecay = cfg.BEDecay
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		c:       c,
 		cfg:     cfg,
 		gen:     strlgen.New(c, gcfg),
@@ -249,6 +280,11 @@ func New(c *cluster.Cluster, cfg Config) *Scheduler {
 		lastJob: make(map[int]planChoice),
 		tr:      cfg.Tracer,
 	}
+	if s.incEnabled() {
+		s.dirtyJobs = make(map[int]struct{})
+		s.reuse = make(map[uint64]*reuseEntry)
+	}
+	return s
 }
 
 // Name implements sim.Scheduler.
@@ -257,11 +293,18 @@ func (s *Scheduler) Name() string { return s.cfg.Name() }
 // Submit implements sim.Scheduler.
 func (s *Scheduler) Submit(now int64, j *workload.Job) {
 	s.pending = append(s.pending, j)
+	s.markJobDirty(j.ID)
 }
 
-// JobFinished implements sim.Scheduler.
+// JobFinished implements sim.Scheduler. Finishing (or failing — the driver
+// reports both here) invalidates the job everywhere the scheduler remembers
+// it: the running set, the dirty tracking for next cycle's reuse gate, and
+// any cached component sub-solution naming it. The nodes it held change
+// their believed release slices, which the per-cycle release diff picks up.
 func (s *Scheduler) JobFinished(now int64, j *workload.Job) {
 	delete(s.running, j.ID)
+	s.markJobDirty(j.ID)
+	s.purgeReuse(j.ID)
 }
 
 // priority orders pending jobs into the three queues of §6.3: accepted SLO,
@@ -344,6 +387,8 @@ func (s *Scheduler) Cycle(now int64, free *bitset.Set) sim.CycleResult {
 			res.Dropped = append(res.Dropped, j)
 			s.removePending(j)
 			delete(s.lastJob, j.ID)
+			s.markJobDirty(j.ID)
+			s.purgeReuse(j.ID)
 			s.tr.Instant("place", "drop", trace.I("job", int64(j.ID)))
 			continue
 		}
@@ -454,27 +499,62 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 	t0 := time.Now()
 	var sol *milp.Solution
 	var failed []*strlgen.Request
+	var inc *incCycle
+	if s.incEnabled() {
+		inc = s.beginIncCycle(comp, reqs, rel)
+	}
+	warmSeeds, replayed := 0, 0
 	if len(comps) > 1 {
 		parts := make([]milp.Part, len(comps))
 		for i, cc := range comps {
 			cc := cc
+			partSeed := cc.RestrictSeed(seed)
 			parts[i] = milp.Part{
 				Model:     cc.Model,
 				VarMap:    cc.VarMap,
-				Seed:      cc.Restrict(seed),
 				Heuristic: cc.GreedyRound,
 			}
+			var cached *milp.Solution
+			if inc != nil {
+				cached = inc.lookup(cc, partSeed)
+			}
+			if cached != nil {
+				// Replay: the fingerprint proved this component's solve inputs
+				// identical to last cycle's, so the cached sub-solution stands
+				// in for the solve. It still occupies its slot in worker
+				// apportioning so the live parts search exactly as a full run
+				// would (deterministic searches depend on worker counts).
+				parts[i].Reuse = cached
+				replayed++
+			} else {
+				parts[i].Seed = partSeed
+				if partSeed != nil {
+					warmSeeds++
+				}
+			}
 			if s.tr != nil {
+				name := "solve.component"
+				if cached != nil {
+					name = "solve.reuse"
+				}
 				parts[i].OnSolve = func() func(*milp.Solution) {
-					sp := s.tr.Begin("solve", "solve.component")
+					sp := s.tr.Begin("solve", name)
 					return func(ps *milp.Solution) { endComponentSpan(sp, cc, ps) }
 				}
 			}
 		}
 		var partSols []*milp.Solution
 		sol, partSols, err = milp.SolveParts(parts, comp.Model.NumVars(), mopts)
-		s.Stats.Decomposed++
-		s.Stats.Components += len(comps)
+		if replayed < len(comps) {
+			// Decomposed/Components count sub-MILPs actually solved; a
+			// replayed part ran no solver, and a fully replayed cycle ran none
+			// at all.
+			s.Stats.Decomposed++
+			s.Stats.Components += len(comps) - replayed
+		}
+		if inc != nil {
+			inc.commit(partSols)
+		}
 		if err == nil {
 			// Components that produced no incumbent fall back individually;
 			// the solved components keep their decisions.
@@ -487,15 +567,43 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 			}
 		}
 	} else {
-		mopts.InitialSolution = seed
-		mopts.Heuristic = comp.GreedyRound
-		sol, err = milp.Solve(comp.Model, mopts)
+		cc := comps[0]
+		partSeed := cc.RestrictSeed(seed)
+		var cached *milp.Solution
+		if inc != nil {
+			cached = inc.lookup(cc, partSeed)
+		}
+		if cached != nil {
+			sol = cached
+			replayed++
+			if s.tr != nil {
+				s.tr.Complete("solve", "solve.reuse", 0,
+					trace.S("status", cached.Status.String()),
+					trace.I("jobs", int64(len(cc.Jobs))),
+					trace.F("objective", cached.Objective))
+			}
+		} else {
+			mopts.InitialSolution = partSeed
+			mopts.Heuristic = comp.GreedyRound
+			sol, err = milp.Solve(comp.Model, mopts)
+			if partSeed != nil {
+				warmSeeds++
+			}
+		}
+		if inc != nil {
+			inc.commit([]*milp.Solution{sol})
+		}
 	}
 	elapsed := time.Since(t0)
 	res.SolverLatency += elapsed
-	s.Stats.record(sol, seed != nil, elapsed)
-	s.tracePresolve(sol)
-	endSolveSpan(solveSpan, sol, err, seed != nil)
+	if replayed < len(comps) {
+		// A fully replayed cycle ran no MILP at all: recording it would count
+		// phantom solves (and, on the single-component path, replay the cached
+		// solution's node/LP/presolve effort into the totals every cycle).
+		s.Stats.record(sol, warmSeeds, elapsed)
+		s.tracePresolve(sol)
+	}
+	endSolveSpan(solveSpan, sol, err, warmSeeds > 0)
 	if err != nil || sol.Values == nil {
 		// Solver produced nothing inside its budget (possible under extreme
 		// backlog); fall back to greedy value-ordered packing so the cluster
@@ -637,8 +745,8 @@ func (s *Scheduler) preemptRescue(now int64, working *bitset.Set, reqs []*strlge
 				}
 			}
 			sort.Slice(victims, func(a, b int) bool {
-				if victims[a].estEnd != victims[b].estEnd {
-					return victims[a].estEnd > victims[b].estEnd
+				if victims[a].launched != victims[b].launched {
+					return victims[a].launched > victims[b].launched
 				}
 				return victims[a].job.ID > victims[b].job.ID
 			})
@@ -667,6 +775,7 @@ func (s *Scheduler) preemptRescue(now int64, working *bitset.Set, reqs []*strlge
 				s.tr.Instant("place", "preempt", trace.I("victim", int64(v.job.ID)),
 					trace.I("rescued", int64(j.ID)))
 				delete(s.running, v.job.ID)
+				s.markJobDirty(v.job.ID)
 				for _, n := range v.nodes {
 					working.Add(n)
 				}
@@ -725,7 +834,7 @@ func (s *Scheduler) greedyCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 		})
 		elapsed := time.Since(t0)
 		res.SolverLatency += elapsed
-		s.Stats.record(sol, false, elapsed)
+		s.Stats.record(sol, 0, elapsed)
 		s.tracePresolve(sol)
 		endSolveSpan(solveSpan, sol, err, false)
 		if err != nil || sol.Values == nil {
@@ -807,9 +916,10 @@ func (s *Scheduler) launch(now int64, j *workload.Job, nodes []int, opt *strlgen
 	s.tr.Instant("place", "launch", trace.I("job", int64(j.ID)), trace.S("option", opt.Key),
 		trace.I("nodes", int64(len(nodes))), trace.I("est_dur", opt.EstDur))
 	res.Decisions = append(res.Decisions, sim.Decision{Job: j, Nodes: nodes})
-	s.running[j.ID] = &runInfo{job: j, nodes: nodes, estEnd: now + opt.EstDur}
+	s.running[j.ID] = &runInfo{job: j, nodes: nodes, estEnd: now + opt.EstDur, launched: now}
 	s.removePending(j)
 	delete(s.lastJob, j.ID)
+	s.markJobDirty(j.ID)
 }
 
 // pickNodes selects concrete free nodes for a start-now grant: from each

@@ -137,6 +137,14 @@ func TestStatusExposesSolverStats(t *testing.T) {
 	if st.Solver.WarmLPs+st.Solver.ColdLPs == 0 {
 		t.Errorf("solver block reports no LPs: %+v", st.Solver)
 	}
+	// One cold cycle fingerprints its components without hitting; the status
+	// block must surface the miss (and a zero hit rate) rather than omit it.
+	if st.Solver.ReuseMisses == 0 {
+		t.Errorf("solver block reports no fingerprinted components: %+v", st.Solver)
+	}
+	if st.Solver.ReuseHits != 0 || st.Solver.ReuseHitRate != 0 {
+		t.Errorf("single cold cycle cannot have replayed: %+v", st.Solver)
+	}
 }
 
 // TestMetricsEndpoint: /metrics serves Prometheus text format with the
@@ -172,6 +180,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"tetrisched_solve_latency_seconds_sum",
 		"tetrisched_solver_solves_total",
 		"tetrisched_solver_lp_warm_hit_rate",
+		"tetrisched_solver_reuse_hits_total",
+		"tetrisched_solver_reuse_misses_total",
+		"tetrisched_solver_reuse_hit_rate",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics output missing %q", want)

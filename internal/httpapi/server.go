@@ -129,6 +129,9 @@ type SolverStatusMsg struct {
 	ColdLPs         int     `json:"lp_cold_starts"`
 	Decomposed      int     `json:"decomposed_solves"`
 	Components      int     `json:"components"`
+	ReuseHits       int     `json:"reuse_hits"`
+	ReuseMisses     int     `json:"reuse_misses"`
+	ReuseHitRate    float64 `json:"reuse_hit_rate"`
 	WarmHitRate     float64 `json:"lp_warm_hit_rate"`
 	MeanSolveMillis float64 `json:"mean_solve_millis"`
 	MaxSolveMillis  float64 `json:"max_solve_millis"`
@@ -355,6 +358,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			LPIters: st.LPIters, Phase1: st.Phase1,
 			WarmLPs: st.WarmLPs, ColdLPs: st.ColdLPs,
 			Decomposed: st.Decomposed, Components: st.Components,
+			ReuseHits: st.ReuseHits, ReuseMisses: st.ReuseMisses,
+			ReuseHitRate:    st.ReuseHitRate(),
 			WarmHitRate:     st.WarmHitRate(),
 			MeanSolveMillis: ms(st.MeanSolve()),
 			MaxSolveMillis:  ms(st.MaxSolve),
@@ -437,6 +442,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("tetrisched_solver_lp_cold_starts_total", "LPs solved from scratch.", uint64(st.ColdLPs))
 		counter("tetrisched_solver_decomposed_total", "Global solves split into independent components.", uint64(st.Decomposed))
 		counter("tetrisched_solver_components_total", "Sub-MILPs solved across all decomposed solves.", uint64(st.Components))
+		counter("tetrisched_solver_reuse_hits_total", "Component sub-solves replayed from the previous cycle.", uint64(st.ReuseHits))
+		counter("tetrisched_solver_reuse_misses_total", "Fingerprinted components solved fresh.", uint64(st.ReuseMisses))
+		gauge("tetrisched_solver_reuse_hit_rate", "Fraction of fingerprinted sub-solves served by replay.", st.ReuseHitRate())
 		gauge("tetrisched_solver_lp_warm_hit_rate", "Fraction of node LPs served warm.", st.WarmHitRate())
 		counter("tetrisched_solver_presolve_vars_fixed_total", "Variables fixed by presolve before branch-and-bound.", uint64(st.PresolveFixed))
 		counter("tetrisched_solver_presolve_rows_dropped_total", "Constraint rows eliminated by presolve.", uint64(st.PresolveRows))
