@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test test-short race bench bench-compare bench-all bench-smoke cover experiments experiments-quick examples clean
+.PHONY: all verify build vet test test-short race bench bench-compare bench-all bench-smoke loadgen-smoke cover experiments experiments-quick examples clean
 
 all: build vet test race
 
@@ -27,21 +27,29 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# Tracked solver benchmarks: the Fig 12-style batched solves and the full
-# scheduler cycle, 6 repetitions each, summarized into BENCH_milp.json so the
-# perf trajectory is diffable across PRs.
+# Tracked benchmarks: the Fig 12-style batched solves, the full scheduler
+# cycle, and the HTTP front door under load (cmd/loadgen's code path), 6
+# repetitions each, summarized into BENCH_milp.json so the perf trajectory is
+# diffable across PRs. Override BENCHTIME (per-repetition budget) to trade
+# precision for wall clock — e.g. `make bench bench-compare BENCHTIME=0.5s`
+# keeps baseline and gate runs close enough in time that slow machine-speed
+# drift (burstable-VM throttling) doesn't masquerade as a regression.
+BENCHTIME ?= 1s
 bench:
-	$(GO) test -run='^$$' -bench='BenchmarkBatchedSolve|BenchmarkSchedulerCycle' -benchmem -count=6 . \
+	$(GO) test -run='^$$' -bench='BenchmarkBatchedSolve|BenchmarkSchedulerCycle|BenchmarkLoadgen' -benchmem -count=6 -benchtime=$(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -o BENCH_milp.json
 
-# Regression gate: re-run the tracked benchmarks and diff mean ns/op against
-# the committed BENCH_milp.json baseline. Exits non-zero if any benchmark's
-# mean regresses more than the threshold (default +10%; tune with
-# `go run ./cmd/benchjson -compare BENCH_milp.json -threshold 0.15`).
+# Regression gate: re-run the tracked benchmarks and diff min ns/op (best of
+# 6 — robust to one-sided scheduler noise) against the committed
+# BENCH_milp.json baseline. Exits non-zero when the suite geomean of deltas
+# drifts past -threshold (default +10%) or any single benchmark blows past
+# -max-single (default +50%); per-benchmark noise between the two only
+# warns. Tune with `go run ./cmd/benchjson -compare BENCH_milp.json
+# -threshold 0.15 -max-single 0.3`.
 # Numbers are only comparable on the machine that produced the baseline —
 # run this locally before `make bench` rewrites the baseline, not in CI.
 bench-compare:
-	$(GO) test -run='^$$' -bench='BenchmarkBatchedSolve|BenchmarkSchedulerCycle' -benchmem -count=6 . \
+	$(GO) test -run='^$$' -bench='BenchmarkBatchedSolve|BenchmarkSchedulerCycle|BenchmarkLoadgen' -benchmem -count=6 -benchtime=$(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_milp.json
 
 # Every benchmark in the repo (reduced-scale paper tables/figures included).
@@ -52,6 +60,12 @@ bench-all:
 # silently stop compiling or start crashing. Fast enough for CI.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Front-door smoke: cmd/loadgen spawns an in-process daemon and fires a short
+# closed-loop burst at POST /v1/submit while cycles drain the queue. Gates on
+# nonzero accepted throughput and zero 5xx responses; wired into CI.
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -spawn -duration 2s -workers 8 -cycle-every 50ms -min-qps 100 -max-5xx 0
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -5,14 +5,19 @@
 package tetrisched
 
 import (
+	"context"
 	"io"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"tetrisched/internal/bitset"
 	"tetrisched/internal/cluster"
 	"tetrisched/internal/compiler"
 	"tetrisched/internal/core"
 	"tetrisched/internal/experiments"
+	"tetrisched/internal/httpapi"
+	"tetrisched/internal/loadgen"
 	"tetrisched/internal/milp"
 	"tetrisched/internal/rayon"
 	"tetrisched/internal/sim"
@@ -271,6 +276,58 @@ func BenchmarkSchedulerCycleChurn1(b *testing.B)    { benchSchedulerCycleChurn(b
 func BenchmarkSchedulerCycleChurn10(b *testing.B)   { benchSchedulerCycleChurn(b, 10, false) }
 func BenchmarkSchedulerCycleChurn50(b *testing.B)   { benchSchedulerCycleChurn(b, 50, false) }
 func BenchmarkSchedulerCycleChurnCold(b *testing.B) { benchSchedulerCycleChurn(b, 1, true) }
+
+// benchLoadgen drives the HTTP front door (POST /v1/submit → bounded ingress
+// queue → weighted-fair drain) with b.N jobs through internal/loadgen and
+// reports the admission path's domain numbers alongside ns/op: sustained
+// jobs/sec, p50/p99 submit latency, and the backpressure (429) rate. The
+// scheduler behind the daemon is a no-op so the tracked number is front-door
+// cost, not solver noise.
+func benchLoadgen(b *testing.B, maxQueue int, cycleEvery time.Duration) {
+	api := httpapi.NewServer(nopSched{}, 8).
+		SetAdmission(httpapi.AdmissionConfig{MaxQueue: maxQueue})
+	ts := httptest.NewServer(api.Handler())
+	defer ts.Close()
+
+	b.ResetTimer()
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:    ts.URL,
+		Workers:    8,
+		Batch:      64,
+		MaxJobs:    int64(b.N),
+		Duration:   time.Hour, // MaxJobs terminates the run
+		CycleEvery: cycleEvery,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Err4xx+res.Err5xx+res.ErrNet > 0 {
+		b.Fatalf("front door errored under load: %+v", res)
+	}
+	b.ReportMetric(res.OfferedRate(), "jobs/sec")
+	b.ReportMetric(float64(res.P50.Nanoseconds()), "p50-ns")
+	b.ReportMetric(float64(res.P99.Nanoseconds()), "p99-ns")
+	b.ReportMetric(res.RejectRate(), "reject-rate")
+}
+
+// nopSched lets the loadgen benchmarks isolate admission cost.
+type nopSched struct{}
+
+func (nopSched) Name() string                                 { return "nop" }
+func (nopSched) Submit(int64, *workload.Job)                  {}
+func (nopSched) JobFinished(int64, *workload.Job)             {}
+func (nopSched) Cycle(int64, *bitset.Set) (r sim.CycleResult) { return }
+
+// BenchmarkLoadgenAdmission is the tracked front-door throughput number: a
+// large queue with a cycle driver draining it, so nearly every job is
+// admitted and ns/op is the accept-path cost per job.
+func BenchmarkLoadgenAdmission(b *testing.B) { benchLoadgen(b, 1<<20, 2*time.Millisecond) }
+
+// BenchmarkLoadgenBackpressure saturates a small queue with no drain: after
+// the first batches fill it, every request exercises the 429 reject path,
+// which must stay cheap (rejecting is the overload defense).
+func BenchmarkLoadgenBackpressure(b *testing.B) { benchLoadgen(b, 256, 0) }
 
 // BenchmarkEndToEndGSHET runs a small full simulation (workload → admission
 // → scheduling → metrics) per iteration.

@@ -8,9 +8,23 @@
 //	go test -run='^$' -bench=... -benchmem -count=6 . | go run ./cmd/benchjson -o BENCH_milp.json
 //
 // With -compare, the aggregated stdin run is diffed against a committed
-// baseline instead of written: per-benchmark mean ns/op deltas are printed
-// and the exit status is non-zero when any benchmark regressed beyond
-// -threshold (relative, default +10%):
+// baseline instead of written: per-benchmark ns/op deltas are printed and
+// the exit status is non-zero when the run regressed. Deltas are judged on
+// *min* ns/op (best of -count runs): scheduler-steal and frequency noise on
+// a shared box is strictly additive, so the min filters it while a real
+// regression shifts the whole distribution, min included. Mean deltas are
+// printed alongside for context.
+//
+// The gate itself is two-tier, calibrated for noisy shared machines where
+// identical-code back-to-back suite runs show per-benchmark min swings of
+// ±20-35% but suite-wide geomean drift of only ±5%:
+//
+//   - the suite geomean of min ns/op deltas must stay within -threshold
+//     (default +10%) — catches systemic slowdowns while per-benchmark noise
+//     cancels across the suite;
+//   - no single benchmark may regress beyond -max-single (default +50%) —
+//     catches an isolated algorithmic blowup that a 17-benchmark geomean
+//     would dilute below the suite threshold.
 //
 //	go test -run='^$' -bench=... -benchmem -count=6 . | go run ./cmd/benchjson -compare BENCH_milp.json
 package main
@@ -21,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -33,17 +48,19 @@ type sample struct {
 	nsPerOp     float64
 	bytesPerOp  float64
 	allocsPerOp float64
+	metrics     map[string]float64 // custom b.ReportMetric pairs, e.g. "jobs/sec"
 }
 
 // summary aggregates every -count repetition of one benchmark.
 type summary struct {
-	Name        string  `json:"name"`
-	Runs        int     `json:"runs"`
-	NsPerOpMin  float64 `json:"ns_per_op_min"`
-	NsPerOpMean float64 `json:"ns_per_op_mean"`
-	NsPerOpMax  float64 `json:"ns_per_op_max"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Runs        int                `json:"runs"`
+	NsPerOpMin  float64            `json:"ns_per_op_min"`
+	NsPerOpMean float64            `json:"ns_per_op_mean"`
+	NsPerOpMax  float64            `json:"ns_per_op_max"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // custom metrics, mean over runs
 }
 
 type report struct {
@@ -57,7 +74,8 @@ type report struct {
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	compare := flag.String("compare", "", "baseline report to diff against; prints ns/op deltas instead of writing JSON")
-	threshold := flag.Float64("threshold", 0.10, "relative mean ns/op regression that fails -compare (0.10 = +10%)")
+	threshold := flag.Float64("threshold", 0.10, "suite-geomean min ns/op regression that fails -compare (0.10 = +10%)")
+	maxSingle := flag.Float64("max-single", 0.50, "per-benchmark min ns/op regression that fails -compare regardless of the geomean")
 	flag.Parse()
 
 	rep, err := buildReport(os.Stdin, os.Stdout)
@@ -77,7 +95,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", *compare, err)
 			os.Exit(1)
 		}
-		if compareReports(&base, &rep, *threshold, os.Stdout) {
+		if compareReports(&base, &rep, *threshold, *maxSingle, os.Stdout) {
 			os.Exit(1)
 		}
 		return
@@ -147,41 +165,80 @@ func buildReport(r io.Reader, echo io.Writer) (report, error) {
 			}
 			sum.BytesPerOp += s.bytesPerOp / float64(len(ss))
 			sum.AllocsPerOp += s.allocsPerOp / float64(len(ss))
+			for unit, v := range s.metrics {
+				if sum.Metrics == nil {
+					sum.Metrics = map[string]float64{}
+				}
+				sum.Metrics[unit] += v / float64(len(ss))
+			}
 		}
 		rep.Benchmarks = append(rep.Benchmarks, sum)
 	}
 	return rep, nil
 }
 
-// compareReports prints each current benchmark's mean ns/op against the
-// baseline and reports whether any regressed beyond threshold. Benchmarks
-// only one side ran are noted but never fail the comparison.
-func compareReports(base, cur *report, threshold float64, w io.Writer) (regressed bool) {
+// compareReports prints each current benchmark's ns/op against the baseline
+// and reports whether the run regressed. Deltas are judged on min ns/op
+// (noise on a shared machine only ever adds time, so best-of-N is the stable
+// statistic); the mean delta is printed for context. When a report predates
+// min tracking (min == 0) the mean is used instead.
+//
+// The failure condition is two-tier: the suite-wide geomean of min deltas
+// must stay within threshold (per-benchmark noise cancels across the suite,
+// so the geomean tracks real machine/code drift), and no single benchmark
+// may regress beyond maxSingle (an isolated blowup the geomean would
+// dilute). Per-benchmark deltas between threshold and maxSingle are labeled
+// "warn" but do not fail on their own. Benchmarks present in only one report
+// are warned about and skipped — a partial `-bench` run or a freshly added
+// benchmark must never fail the gate.
+func compareReports(base, cur *report, threshold, maxSingle float64, w io.Writer) (regressed bool) {
 	baseline := make(map[string]summary, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseline[b.Name] = b
 	}
-	fmt.Fprintf(w, "\nbaseline %s vs current run (threshold %+.1f%%):\n", base.Date, 100*threshold)
+	fmt.Fprintf(w, "\nbaseline %s vs current run (geomean threshold %+.1f%%, per-benchmark limit %+.1f%%, on min ns/op):\n",
+		base.Date, 100*threshold, 100*maxSingle)
+	var logSum float64
+	var compared int
 	seen := make(map[string]bool, len(cur.Benchmarks))
 	for _, c := range cur.Benchmarks {
 		seen[c.Name] = true
 		b, ok := baseline[c.Name]
 		if !ok || b.NsPerOpMean <= 0 {
-			fmt.Fprintf(w, "  %-40s %12.0f ns/op  (new, no baseline)\n", c.Name, c.NsPerOpMean)
+			fmt.Fprintf(w, "  %-40s %12.0f ns/op  warning: no baseline, skipped\n", c.Name, c.NsPerOpMean)
 			continue
 		}
-		delta := (c.NsPerOpMean - b.NsPerOpMean) / b.NsPerOpMean
+		bMin, cMin := b.NsPerOpMin, c.NsPerOpMin
+		if bMin <= 0 || cMin <= 0 {
+			bMin, cMin = b.NsPerOpMean, c.NsPerOpMean
+		}
+		minDelta := (cMin - bMin) / bMin
+		meanDelta := (c.NsPerOpMean - b.NsPerOpMean) / b.NsPerOpMean
+		logSum += math.Log(1 + minDelta)
+		compared++
 		verdict := "ok"
-		if delta > threshold {
+		switch {
+		case minDelta > maxSingle:
+			verdict = "REGRESSED"
+			regressed = true
+		case minDelta > threshold:
+			verdict = "warn"
+		}
+		fmt.Fprintf(w, "  %-40s %12.0f -> %12.0f min ns/op  %+7.1f%% (mean %+7.1f%%)  %s\n",
+			c.Name, bMin, cMin, 100*minDelta, 100*meanDelta, verdict)
+	}
+	if compared > 0 {
+		geomean := math.Expm1(logSum / float64(compared))
+		verdict := "ok"
+		if geomean > threshold {
 			verdict = "REGRESSED"
 			regressed = true
 		}
-		fmt.Fprintf(w, "  %-40s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n",
-			c.Name, b.NsPerOpMean, c.NsPerOpMean, 100*delta, verdict)
+		fmt.Fprintf(w, "  %-40s %44s %+7.1f%%  %s\n", "suite geomean", "", 100*geomean, verdict)
 	}
 	for _, b := range base.Benchmarks {
 		if !seen[b.Name] {
-			fmt.Fprintf(w, "  %-40s %12.0f ns/op  (in baseline, not run)\n", b.Name, b.NsPerOpMean)
+			fmt.Fprintf(w, "  %-40s %12.0f ns/op  warning: in baseline but not run, skipped\n", b.Name, b.NsPerOpMean)
 		}
 	}
 	return regressed
@@ -207,13 +264,21 @@ func parseBenchLine(line string) (string, sample, bool) {
 		if err != nil {
 			continue
 		}
-		switch f[i+1] {
+		switch unit := f[i+1]; unit {
 		case "ns/op":
 			s.nsPerOp, seen = v, true
 		case "B/op":
 			s.bytesPerOp = v
 		case "allocs/op":
 			s.allocsPerOp = v
+		default:
+			// Custom b.ReportMetric units (e.g. "jobs/sec", "p99-ns",
+			// "reject-rate") ride along so derived benchmarks like the
+			// loadgen gate keep their domain numbers in the artifact.
+			if s.metrics == nil {
+				s.metrics = map[string]float64{}
+			}
+			s.metrics[unit] = v
 		}
 	}
 	return name, s, seen

@@ -9,12 +9,20 @@
 //
 // Endpoints:
 //
+//	POST /v1/submit       submit a batch (JSON array) or stream (NDJSON)
 //	POST /v1/jobs         submit a job        {id, class, type, k, ...}
 //	POST /v1/cycle        run one cycle       {now, free:[ids]} → decisions
 //	POST /v1/completions  signal completion   {job_id, now}
 //	GET  /v1/status       daemon state incl. cumulative solver telemetry
 //	GET  /v1/trace        Chrome trace-event snapshot of the trace ring
 //	GET  /metrics         Prometheus text metrics
+//
+// The /v1/submit front door admits into a bounded ingress queue (-max-queue)
+// drained into the scheduler by a weighted-fair dequeue at each cycle
+// (-admit-burst jobs per cycle). Per-tenant weights and quotas come from the
+// -tenants JSON file; submissions the queue cannot take are refused with
+// 429 + Retry-After rather than buffered. -admission-log appends one NDJSON
+// record per admission decision for offline audit.
 //
 // With -debug-addr set, net/http/pprof is served on that address (and only
 // there — the main listener never exposes it). The daemon shuts down
@@ -24,6 +32,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -61,6 +70,10 @@ func main() {
 		traceRing = flag.Int("trace-ring", 16384, "trace ring size in events served by /v1/trace (0 disables tracing)")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = pprof disabled)")
 		drain     = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		maxQueue  = flag.Int("max-queue", 65536, "bounded ingress queue for POST /v1/submit; overflow answers 429 + Retry-After")
+		burst     = flag.Int("admit-burst", 1024, "max jobs the weighted-fair dequeue admits to the scheduler per cycle")
+		tenants   = flag.String("tenants", "", "JSON file of per-tenant admission config: [{\"name\",\"weight\",\"quota\"},...] (quota 0 = lockout, <0 = unlimited)")
+		admitLog  = flag.String("admission-log", "", "append NDJSON admission-decision records to this file (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -98,7 +111,27 @@ func main() {
 		DisableIncremental: *noIncr,
 		Tracer:             tr,
 	})
-	api := httpapi.NewServer(sched, c.N()).SetTracer(tr)
+	admCfg := httpapi.AdmissionConfig{MaxQueue: *maxQueue, Burst: *burst}
+	if *tenants != "" {
+		buf, err := os.ReadFile(*tenants)
+		if err != nil {
+			log.Fatalf("tetrischedd: -tenants: %v", err)
+		}
+		if err := json.Unmarshal(buf, &admCfg.Tenants); err != nil {
+			log.Fatalf("tetrischedd: -tenants %s: %v", *tenants, err)
+		}
+		log.Printf("tetrischedd: %d tenants configured from %s", len(admCfg.Tenants), *tenants)
+	}
+	api := httpapi.NewServer(sched, c.N()).SetTracer(tr).SetAdmission(admCfg)
+	if *admitLog != "" {
+		f, err := os.OpenFile(*admitLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("tetrischedd: -admission-log: %v", err)
+		}
+		defer f.Close()
+		api.SetAdmissionLog(f)
+		defer api.FlushAdmissionLog()
+	}
 	srv := &http.Server{Addr: *listen, Handler: api.Handler()}
 
 	if *debugAddr != "" {

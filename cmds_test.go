@@ -7,6 +7,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -132,6 +133,134 @@ func TestCommandLineTools(t *testing.T) {
 			if obj.Seq == nil || *obj.Seq != uint64(i) {
 				t.Fatalf("jsonl line %d has seq %v, want %d (stream must be gapless)", i, obj.Seq, i)
 			}
+		}
+	})
+
+	// tetrischedd admission flag round-trip: -max-queue / -tenants /
+	// -admission-log must all be documented in -h, honored by the running
+	// daemon, and the admission log must survive a graceful shutdown.
+	t.Run("tetrischedd-admission", func(t *testing.T) {
+		daemon := build("tetrischedd")
+
+		// -h documents the front-door flags.
+		help, _ := exec.Command(daemon, "-h").CombinedOutput() // flag -h exits non-zero by design
+		for _, flag := range []string{"-max-queue", "-admit-burst", "-tenants", "-admission-log"} {
+			if !strings.Contains(string(help), flag) {
+				t.Errorf("-h output missing %s:\n%s", flag, help)
+			}
+		}
+
+		tenantsPath := filepath.Join(bin, "tenants.json")
+		if err := os.WriteFile(tenantsPath, []byte(
+			`[{"name":"gold","weight":10,"quota":-1},{"name":"blocked","weight":1,"quota":0}]`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		logPath := filepath.Join(bin, "admission.ndjson")
+		addr := freeAddr(t)
+		cmd := exec.Command(daemon, "-listen", addr, "-nodes", "8", "-racks", "2",
+			"-max-queue", "100", "-tenants", tenantsPath, "-admission-log", logPath)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer cmd.Process.Kill()
+		waitHTTP(t, "http://"+addr+"/v1/status")
+
+		post := func(body string) *http.Response {
+			resp, err := http.Post("http://"+addr+"/v1/submit", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			return resp
+		}
+		batch := func(tenant string, id0, n int) string {
+			var sb strings.Builder
+			sb.WriteByte('[')
+			for i := 0; i < n; i++ {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(`{"id":` + strconv.Itoa(id0+i) + `,"tenant":"` + tenant +
+					`","class":"BE","type":"Unconstrained","k":1,"base_runtime":10,"slowdown":1}`)
+			}
+			sb.WriteByte(']')
+			return sb.String()
+		}
+		if resp := post(batch("gold", 0, 5)); resp.StatusCode != http.StatusAccepted {
+			t.Errorf("configured tenant batch = %d, want 202", resp.StatusCode)
+		}
+		if resp := post(batch("blocked", 100, 1)); resp.StatusCode != http.StatusTooManyRequests {
+			t.Errorf("zero-quota tenant = %d, want 429", resp.StatusCode)
+		} else if resp.Header.Get("Retry-After") == "" {
+			t.Error("429 without Retry-After header")
+		}
+		// -max-queue 100 with 5 already queued: a batch of 96 cannot fit.
+		if resp := post(batch("gold", 200, 96)); resp.StatusCode != http.StatusTooManyRequests {
+			t.Errorf("over-capacity batch = %d, want 429", resp.StatusCode)
+		}
+
+		// /v1/status reflects the -tenants file.
+		var st struct {
+			Admission *struct {
+				MaxQueue int `json:"max_queue"`
+				Tenants  []struct {
+					Name   string  `json:"name"`
+					Weight float64 `json:"weight"`
+				} `json:"tenants"`
+			} `json:"admission"`
+		}
+		resp, err := http.Get("http://" + addr + "/v1/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.Admission == nil || st.Admission.MaxQueue != 100 {
+			t.Fatalf("status does not reflect -max-queue: %+v", st.Admission)
+		}
+		foundGold := false
+		for _, ten := range st.Admission.Tenants {
+			if ten.Name == "gold" && ten.Weight == 10 {
+				foundGold = true
+			}
+		}
+		if !foundGold {
+			t.Errorf("status does not reflect -tenants weights: %+v", st.Admission)
+		}
+
+		// Graceful shutdown flushes the admission log.
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("daemon did not exit cleanly: %v", err)
+		}
+		raw, err := os.ReadFile(logPath)
+		if err != nil {
+			t.Fatalf("-admission-log file missing after shutdown: %v", err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+		if len(lines) != 3 {
+			t.Fatalf("admission log has %d records, want 3:\n%s", len(lines), raw)
+		}
+		outcomes := map[string]int{}
+		for i, ln := range lines {
+			var rec struct {
+				Mode    string `json:"mode"`
+				Tenant  string `json:"tenant"`
+				Jobs    int    `json:"jobs"`
+				Outcome string `json:"outcome"`
+				Code    int    `json:"code"`
+			}
+			if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+				t.Fatalf("admission log line %d malformed: %v\n%s", i, err, ln)
+			}
+			outcomes[rec.Outcome]++
+		}
+		if outcomes["accepted"] != 1 || outcomes["tenant_quota"] != 1 || outcomes["queue_full"] != 1 {
+			t.Errorf("admission log outcomes = %v", outcomes)
 		}
 	})
 

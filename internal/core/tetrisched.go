@@ -325,7 +325,11 @@ func priority(j *workload.Job) int {
 // and failure restarts re-enter the queue at the tail, and ordering by queue
 // position would file an early-arriving restart behind later arrivals,
 // breaking the FIFO-within-class guarantee of §6.3. Ties (same class, same
-// Submit) break by job ID, which matches original submission order.
+// Submit) break by the front door's weighted-fair admission sequence when one
+// was stamped (workload.Job.AdmitSeq — jobs admitted in the same cycle share
+// a Submit, and ID order would hand the queue position back to whichever
+// tenant allocated lower IDs), then by job ID, which matches original
+// submission order for simulator-generated jobs.
 func (s *Scheduler) orderedPending() []*workload.Job {
 	sorted := append([]*workload.Job(nil), s.pending...)
 	sort.SliceStable(sorted, func(a, b int) bool {
@@ -335,6 +339,9 @@ func (s *Scheduler) orderedPending() []*workload.Job {
 		}
 		if sorted[a].Submit != sorted[b].Submit {
 			return sorted[a].Submit < sorted[b].Submit
+		}
+		if sorted[a].AdmitSeq != sorted[b].AdmitSeq {
+			return sorted[a].AdmitSeq < sorted[b].AdmitSeq
 		}
 		return sorted[a].ID < sorted[b].ID
 	})

@@ -696,3 +696,41 @@ func TestWarmStartDisabledBySwitch(t *testing.T) {
 		t.Fatalf("DisableWarmStart must disable seeding, got %d warm starts", sched.Stats.WarmStarts)
 	}
 }
+
+// TestPendingOrderFollowsAdmitSeq: jobs tying on (priority, Submit) order by
+// the front door's weighted-fair admission sequence when one was stamped, and
+// fall back to job-ID order when none was (simulator jobs). Without the
+// AdmitSeq tie-break, a tenant allocating low job IDs would reclaim the queue
+// positions the fair dequeue took away from it.
+func TestPendingOrderFollowsAdmitSeq(t *testing.T) {
+	s := New(threeNodeCluster(), Config{PlanAhead: 16})
+	mk := func(id int, seq int64) *workload.Job {
+		return &workload.Job{ID: id, Class: workload.BestEffort, K: 1,
+			BaseRuntime: 10, Slowdown: 1, Submit: 5, AdmitSeq: seq}
+	}
+	// Tenant A holds IDs 1-3, tenant B IDs 100-102; fair admission
+	// interleaved them B-first.
+	for _, j := range []*workload.Job{mk(1, 2), mk(2, 4), mk(3, 6), mk(100, 1), mk(101, 3), mk(102, 5)} {
+		s.Submit(5, j)
+	}
+	got := make([]int, 0, 6)
+	for _, j := range s.orderedPending() {
+		got = append(got, j.ID)
+	}
+	want := []int{100, 1, 101, 2, 102, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("admit-seq ordering broken: got %v, want %v", got, want)
+		}
+	}
+
+	// Zero AdmitSeq everywhere (simulator path): ID order, unchanged policy.
+	s2 := New(threeNodeCluster(), Config{PlanAhead: 16})
+	for _, id := range []int{3, 1, 2} {
+		s2.Submit(5, mk(id, 0))
+	}
+	ord := s2.orderedPending()
+	if ord[0].ID != 1 || ord[1].ID != 2 || ord[2].ID != 3 {
+		t.Fatalf("zero-seq jobs must keep ID order, got %v %v %v", ord[0].ID, ord[1].ID, ord[2].ID)
+	}
+}

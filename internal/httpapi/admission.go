@@ -1,0 +1,437 @@
+package httpapi
+
+// Multi-tenant admission: the daemon's production front door. Jobs submitted
+// through POST /v1/submit do not go straight into the scheduler — they land
+// in a bounded ingress queue with per-tenant accounting and are drained into
+// the scheduler's pending queue by a weighted-fair dequeue at cycle time.
+// The design follows the arktos global-scheduler admission menu (§2.5.7
+// "priority and fair scheduling to avoid attack"): per-tenant quotas bound
+// how much queue an adversarial tenant can occupy, weights set the share of
+// scheduler admissions each tenant receives under saturation, and the total
+// queue bound turns overload into explicit 429 + Retry-After backpressure
+// instead of unbounded memory.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tetrisched/internal/workload"
+)
+
+// DefaultTenant is the tenant name assumed when a submission carries none.
+const DefaultTenant = "default"
+
+// TenantConfig sets one tenant's admission parameters.
+type TenantConfig struct {
+	Name string `json:"name"`
+	// Weight is the tenant's fair-share weight: under saturating load,
+	// admitted-job shares converge to the weight ratio. Values <= 0 mean 1.
+	Weight float64 `json:"weight"`
+	// Quota bounds how many of the tenant's jobs may sit in the ingress
+	// queue at once. 0 rejects every submission from the tenant (hard
+	// lockout); negative means bounded only by the global queue size.
+	Quota int `json:"quota"`
+}
+
+// AdmissionConfig configures the ingress queue.
+type AdmissionConfig struct {
+	// MaxQueue bounds the total number of queued jobs across all tenants;
+	// <= 0 selects the default (65536). Submissions that would exceed it are
+	// rejected with 429.
+	MaxQueue int
+	// Burst caps how many queued jobs one scheduling cycle drains into the
+	// scheduler; <= 0 selects the default (1024).
+	Burst int
+	// Tenants lists explicitly configured tenants; any other tenant name
+	// gets DefaultWeight/DefaultQuota.
+	Tenants []TenantConfig
+	// DefaultWeight is the weight for unlisted tenants (<= 0 means 1).
+	DefaultWeight float64
+	// DefaultQuota is the quota for unlisted tenants (0 means unlimited
+	// here — lockout must be explicit per tenant).
+	DefaultQuota int
+	// RetryAfter is the advisory Retry-After duration attached to 429
+	// responses; <= 0 selects 1s.
+	RetryAfter time.Duration
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 65536
+	}
+	if c.Burst <= 0 {
+		c.Burst = 1024
+	}
+	if c.DefaultWeight <= 0 {
+		c.DefaultWeight = 1
+	}
+	if c.DefaultQuota == 0 {
+		c.DefaultQuota = -1
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// rejectReason classifies why admission refused a submission.
+type rejectReason int
+
+const (
+	rejectNone    rejectReason = iota
+	rejectFull                 // global queue at MaxQueue
+	rejectQuota                // tenant at its quota (or quota 0: locked out)
+	rejectInvalid              // duplicate job ID in batch or ingress queue
+)
+
+func (r rejectReason) String() string {
+	switch r {
+	case rejectFull:
+		return "queue_full"
+	case rejectQuota:
+		return "tenant_quota"
+	case rejectInvalid:
+		return "invalid"
+	}
+	return "none"
+}
+
+// tenantState is one tenant's queue and accounting.
+type tenantState struct {
+	name   string
+	weight float64
+	quota  int // < 0: unlimited
+
+	queue []*workload.Job // FIFO; queue[head:] are live
+	head  int
+
+	// vt is the tenant's virtual time (jobs admitted / weight) for
+	// start-time fair queuing; dequeue always serves the smallest vt.
+	vt float64
+
+	// Batch-scan scratch: marks this tenant as seen in the current
+	// validation pass without a per-request map (batchEpoch is compared to
+	// the admission-wide epoch counter).
+	batchEpoch uint64
+	batchCount int
+
+	// Counters (see docs/OBSERVABILITY.md).
+	enqueued      uint64 // jobs accepted into the ingress queue
+	admitted      uint64 // jobs drained into the scheduler
+	rejectedFull  uint64
+	rejectedQuota uint64
+	rejectedDup   uint64 // dropped at drain: ID already known to the scheduler
+}
+
+func (t *tenantState) depth() int { return len(t.queue) - t.head }
+
+func (t *tenantState) push(j *workload.Job) {
+	t.queue = append(t.queue, j)
+}
+
+func (t *tenantState) pop() *workload.Job {
+	j := t.queue[t.head]
+	t.queue[t.head] = nil
+	t.head++
+	// Compact once the dead prefix dominates so the backing array cannot
+	// grow without bound across enqueue/dequeue cycles.
+	if t.head > 64 && t.head*2 >= len(t.queue) {
+		n := copy(t.queue, t.queue[t.head:])
+		t.queue = t.queue[:n]
+		t.head = 0
+	}
+	return j
+}
+
+// admitLatencyBuckets are the /metrics histogram bounds for submit-request
+// handling latency, in seconds. The hot path is tens of microseconds; the
+// tail covers lock convoys under saturation.
+var admitLatencyBuckets = []float64{25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3}
+
+// admission is the ingress queue. It has its own mutex so the submit hot
+// path never contends with the scheduler lock (s.mu), which /v1/cycle holds
+// for the full MILP solve; the two locks are never held together except in
+// drain's caller (which takes adm.mu strictly before s.mu is acquired).
+type admission struct {
+	mu      sync.Mutex
+	cfg     AdmissionConfig
+	tenants map[string]*tenantState
+	queued  map[int]struct{} // job IDs currently in the ingress queue
+	total   int              // queued jobs across all tenants
+	seq     int64            // monotone admission sequence, stamped at drain
+	vtFloor float64          // fair-queuing floor: vt of the last-served tenant
+	epoch   uint64           // batch-validation epoch (see tenantState.batchEpoch)
+	touched []*tenantState   // reusable scratch for per-batch tenant groups
+	latency *histogram       // submit-request handling latency
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	cfg = cfg.withDefaults()
+	a := &admission{
+		cfg:     cfg,
+		tenants: make(map[string]*tenantState),
+		queued:  make(map[int]struct{}),
+		latency: newHistogram(admitLatencyBuckets),
+	}
+	for _, tc := range cfg.Tenants {
+		a.tenant(tc.Name).configure(tc, cfg)
+	}
+	return a
+}
+
+func (t *tenantState) configure(tc TenantConfig, cfg AdmissionConfig) {
+	t.weight = tc.Weight
+	if t.weight <= 0 {
+		t.weight = cfg.DefaultWeight
+	}
+	t.quota = tc.Quota
+}
+
+// tenant returns (creating if needed) the state for name. Callers hold a.mu
+// (or are in single-threaded setup).
+func (a *admission) tenant(name string) *tenantState {
+	if name == "" {
+		name = DefaultTenant
+	}
+	ts, ok := a.tenants[name]
+	if !ok {
+		ts = &tenantState{name: name, weight: a.cfg.DefaultWeight, quota: a.cfg.DefaultQuota}
+		a.tenants[name] = ts
+	}
+	return ts
+}
+
+// enqueueOutcome reports one tryEnqueue call's result.
+type enqueueOutcome struct {
+	reason rejectReason
+	// tenant is the tenant that triggered a quota rejection (or the sole
+	// tenant of a single-job enqueue).
+	tenant string
+	// badIndex is the batch index of the duplicate job on rejectInvalid.
+	badIndex int
+}
+
+// tryEnqueue atomically admits all jobs into the ingress queue or none of
+// them: capacity, per-tenant quotas, and duplicate IDs (within the batch and
+// against already-queued jobs) are all checked before the first job lands.
+// Each job's Tenant field must already be normalized (non-empty).
+func (a *admission) tryEnqueue(jobs []*workload.Job) enqueueOutcome {
+	if len(jobs) == 0 {
+		return enqueueOutcome{reason: rejectNone}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	if a.total+len(jobs) > a.cfg.MaxQueue {
+		for _, ts := range a.groupLocked(jobs) {
+			ts.rejectedFull += uint64(ts.batchCount)
+		}
+		return enqueueOutcome{reason: rejectFull}
+	}
+	for _, ts := range a.groupLocked(jobs) {
+		if ts.quota == 0 || (ts.quota > 0 && ts.depth()+ts.batchCount > ts.quota) {
+			for _, t2 := range a.touched {
+				t2.rejectedQuota += uint64(t2.batchCount)
+			}
+			return enqueueOutcome{reason: rejectQuota, tenant: ts.name}
+		}
+	}
+	// Dup scan: insert IDs as we go so in-batch duplicates collide too, and
+	// roll back on failure — the single long-lived map does double duty
+	// without per-request map allocation.
+	for i, j := range jobs {
+		if _, dup := a.queued[j.ID]; dup {
+			for _, k := range jobs[:i] {
+				delete(a.queued, k.ID)
+			}
+			return enqueueOutcome{reason: rejectInvalid, badIndex: i, tenant: j.Tenant}
+		}
+		a.queued[j.ID] = struct{}{}
+	}
+	for _, j := range jobs {
+		ts := a.tenants[j.Tenant]
+		if ts.depth() == 0 {
+			// (Re)activation: inherit the fair-queuing floor so an idle
+			// tenant cannot bank credit and then monopolize the dequeue.
+			if ts.vt < a.vtFloor {
+				ts.vt = a.vtFloor
+			}
+		}
+		ts.push(j)
+		ts.enqueued++
+	}
+	a.total += len(jobs)
+	return enqueueOutcome{reason: rejectNone, tenant: jobs[0].Tenant}
+}
+
+// groupLocked tallies jobs per tenant into the tenants' batch-scratch fields
+// and returns the touched tenant states (reused slice; valid until the next
+// call). Caller holds a.mu.
+func (a *admission) groupLocked(jobs []*workload.Job) []*tenantState {
+	a.epoch++
+	a.touched = a.touched[:0]
+	for _, j := range jobs {
+		ts := a.tenant(j.Tenant)
+		if ts.batchEpoch != a.epoch {
+			ts.batchEpoch = a.epoch
+			ts.batchCount = 0
+			a.touched = append(a.touched, ts)
+		}
+		ts.batchCount++
+	}
+	return a.touched
+}
+
+// drain removes up to max jobs from the ingress queue in weighted-fair order
+// and stamps each with its admission sequence number. The returned slice is
+// freshly allocated (the scheduler side retains the jobs anyway).
+//
+// Fairness is start-time fair queuing: each tenant carries a virtual time
+// advanced by 1/weight per admitted job, and drain always serves the active
+// tenant with the smallest virtual time. Under saturation the admitted-job
+// shares converge to the weight ratio; an idle tenant's vt is floored on
+// re-activation so bursts cannot claim retroactive credit.
+func (a *admission) drain(max int) []*workload.Job {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.total == 0 || max <= 0 {
+		return nil
+	}
+	if max > a.total {
+		max = a.total
+	}
+	out := make([]*workload.Job, 0, max)
+	for len(out) < max {
+		var best *tenantState
+		for _, ts := range a.tenants {
+			if ts.depth() == 0 {
+				continue
+			}
+			if best == nil || ts.vt < best.vt || (ts.vt == best.vt && ts.name < best.name) {
+				best = ts
+			}
+		}
+		if best == nil {
+			break
+		}
+		a.vtFloor = best.vt
+		j := best.pop()
+		delete(a.queued, j.ID)
+		a.seq++
+		j.AdmitSeq = a.seq
+		best.vt += 1 / best.weight
+		best.admitted++
+		a.total--
+		out = append(out, j)
+	}
+	return out
+}
+
+// noteDupDrop records a job that survived enqueue but turned out to be a
+// duplicate of an already-admitted ID at drain time (the scheduler-side
+// check lives outside adm.mu so the submit path never touches s.mu).
+func (a *admission) noteDupDrop(tenant string) {
+	a.mu.Lock()
+	a.tenant(tenant).rejectedDup++
+	a.tenant(tenant).admitted--
+	a.mu.Unlock()
+}
+
+func (a *admission) observeLatency(d time.Duration) {
+	a.mu.Lock()
+	a.latency.observe(d.Seconds())
+	a.mu.Unlock()
+}
+
+// retryAfterSeconds is the advisory client backoff attached to 429s,
+// rounded up to whole seconds (the Retry-After header unit).
+func (a *admission) retryAfterSeconds() int {
+	s := int((a.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// TenantStatusMsg is one tenant's admission accounting in /v1/status.
+type TenantStatusMsg struct {
+	Name          string  `json:"name"`
+	Weight        float64 `json:"weight"`
+	Quota         int     `json:"quota"`
+	Queued        int     `json:"queued"`
+	Enqueued      uint64  `json:"enqueued"`
+	Admitted      uint64  `json:"admitted"`
+	RejectedFull  uint64  `json:"rejected_full"`
+	RejectedQuota uint64  `json:"rejected_quota"`
+	RejectedDup   uint64  `json:"rejected_dup"`
+}
+
+// AdmissionStatusMsg is the admission block of /v1/status.
+type AdmissionStatusMsg struct {
+	Queued   int               `json:"queued"`
+	MaxQueue int               `json:"max_queue"`
+	Burst    int               `json:"burst"`
+	Tenants  []TenantStatusMsg `json:"tenants,omitempty"`
+}
+
+// writeMetrics renders the admission metrics in Prometheus text format:
+// queue depth (total and per tenant), per-tenant admitted/enqueued/rejected
+// counters, and the submit-request latency histogram. Metric names are
+// documented in docs/OBSERVABILITY.md.
+func (a *admission) writeMetrics(b *strings.Builder) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	fmt.Fprintf(b, "# HELP tetrisched_admission_queue_depth Jobs in the ingress queue.\n# TYPE tetrisched_admission_queue_depth gauge\n")
+	fmt.Fprintf(b, "tetrisched_admission_queue_depth %d\n", a.total)
+	fmt.Fprintf(b, "# HELP tetrisched_admission_queue_capacity Ingress queue bound (MaxQueue).\n# TYPE tetrisched_admission_queue_capacity gauge\n")
+	fmt.Fprintf(b, "tetrisched_admission_queue_capacity %d\n", a.cfg.MaxQueue)
+
+	names := make([]string, 0, len(a.tenants))
+	for name := range a.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	perTenant := func(metric, help, typ string, v func(*tenantState) uint64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", metric, help, metric, typ)
+		for _, name := range names {
+			fmt.Fprintf(b, "%s{tenant=%q} %d\n", metric, name, v(a.tenants[name]))
+		}
+	}
+	perTenant("tetrisched_admission_tenant_queued", "Jobs a tenant has in the ingress queue.", "gauge",
+		func(t *tenantState) uint64 { return uint64(t.depth()) })
+	perTenant("tetrisched_admission_enqueued_total", "Jobs accepted into the ingress queue.", "counter",
+		func(t *tenantState) uint64 { return t.enqueued })
+	perTenant("tetrisched_admission_admitted_total", "Jobs drained into the scheduler by the weighted-fair dequeue.", "counter",
+		func(t *tenantState) uint64 { return t.admitted })
+	perTenant("tetrisched_admission_rejected_full_total", "Jobs rejected because the ingress queue was full (429).", "counter",
+		func(t *tenantState) uint64 { return t.rejectedFull })
+	perTenant("tetrisched_admission_rejected_quota_total", "Jobs rejected by tenant quota (429).", "counter",
+		func(t *tenantState) uint64 { return t.rejectedQuota })
+	perTenant("tetrisched_admission_rejected_dup_total", "Queued jobs dropped at drain as duplicates of admitted IDs.", "counter",
+		func(t *tenantState) uint64 { return t.rejectedDup })
+
+	writeHistogram(b, "tetrisched_admission_latency_seconds",
+		"Submit-request handling wall-clock (decode + admission verdict).", a.latency)
+}
+
+// status snapshots the admission state for /v1/status.
+func (a *admission) status() *AdmissionStatusMsg {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	msg := &AdmissionStatusMsg{Queued: a.total, MaxQueue: a.cfg.MaxQueue, Burst: a.cfg.Burst}
+	for _, ts := range a.tenants {
+		msg.Tenants = append(msg.Tenants, TenantStatusMsg{
+			Name: ts.name, Weight: ts.weight, Quota: ts.quota, Queued: ts.depth(),
+			Enqueued: ts.enqueued, Admitted: ts.admitted,
+			RejectedFull: ts.rejectedFull, RejectedQuota: ts.rejectedQuota,
+			RejectedDup: ts.rejectedDup,
+		})
+	}
+	sort.Slice(msg.Tenants, func(i, j int) bool { return msg.Tenants[i].Name < msg.Tenants[j].Name })
+	return msg
+}

@@ -1,0 +1,438 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"tetrisched/internal/bitset"
+	"tetrisched/internal/sim"
+	"tetrisched/internal/workload"
+)
+
+// fakeSched is a sim.Scheduler stub that records submissions; all methods
+// are invoked under the server's lock, so it needs no synchronization of
+// its own.
+type fakeSched struct {
+	byTenant map[string]int
+	order    []*workload.Job
+}
+
+func newFakeSched() *fakeSched { return &fakeSched{byTenant: make(map[string]int)} }
+
+func (f *fakeSched) Name() string { return "fake" }
+func (f *fakeSched) Submit(now int64, j *workload.Job) {
+	f.byTenant[j.Tenant]++
+	f.order = append(f.order, j)
+}
+func (f *fakeSched) JobFinished(now int64, j *workload.Job)          {}
+func (f *fakeSched) Cycle(now int64, free *bitset.Set) sim.CycleResult { return sim.CycleResult{} }
+
+var _ sim.Scheduler = (*fakeSched)(nil)
+
+// frontDoor builds a server with the given admission config over a stub
+// scheduler.
+func frontDoor(t *testing.T, cfg AdmissionConfig) (*fakeSched, *httptest.Server) {
+	t.Helper()
+	f := newFakeSched()
+	srv := NewServer(f, 16).SetAdmission(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return f, ts
+}
+
+// batchBody builds a JSON-array body of n valid BE jobs for tenant, with
+// IDs starting at id0.
+func batchBody(tenant string, id0, n int) []byte {
+	var b bytes.Buffer
+	b.WriteByte('[')
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"id":%d,"tenant":%q,"class":"BE","type":"Unconstrained","k":1,"base_runtime":10,"slowdown":1}`,
+			id0+i, tenant)
+	}
+	b.WriteByte(']')
+	return b.Bytes()
+}
+
+func postSubmit(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/submit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func postCycle(t *testing.T, url string, now int64) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/cycle", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"now":%d,"free":[]}`, now)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cycle = %d", resp.StatusCode)
+	}
+}
+
+// TestWeightedFairnessConverges is the acceptance test for the weighted-fair
+// dequeue: two tenants at 10:1 weights under saturating load must see their
+// admitted-job shares converge to the weight ratio within 10%, and a
+// zero-quota tenant must be fully rejected with 429s while the others are
+// unaffected.
+func TestWeightedFairnessConverges(t *testing.T) {
+	f, ts := frontDoor(t, AdmissionConfig{
+		MaxQueue: 4096,
+		Burst:    64,
+		Tenants: []TenantConfig{
+			{Name: "heavy", Weight: 10, Quota: -1},
+			{Name: "light", Weight: 1, Quota: -1},
+			{Name: "banned", Weight: 5, Quota: 0},
+		},
+	})
+
+	id := 0
+	refill := func(tenant string, n int) *http.Response {
+		resp := postSubmit(t, ts.URL, batchBody(tenant, id, n))
+		id += n
+		return resp
+	}
+
+	bannedRejects := 0
+	for round := 0; round < 40; round++ {
+		// Keep both live tenants saturated; the adversarial tenant keeps
+		// hammering and must change nothing for the others.
+		refill("heavy", 128)
+		refill("light", 128)
+		if resp := refill("banned", 8); resp.StatusCode == http.StatusTooManyRequests {
+			bannedRejects++
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After header")
+			}
+		} else {
+			t.Fatalf("zero-quota tenant submission = %d, want 429", resp.StatusCode)
+		}
+		postCycle(t, ts.URL, int64(round))
+	}
+
+	heavy, light := f.byTenant["heavy"], f.byTenant["light"]
+	if f.byTenant["banned"] != 0 {
+		t.Fatalf("zero-quota tenant had %d jobs admitted", f.byTenant["banned"])
+	}
+	if bannedRejects != 40 {
+		t.Fatalf("banned tenant saw %d/40 rejections", bannedRejects)
+	}
+	if heavy+light != 40*64 {
+		t.Fatalf("drained %d jobs, want %d (saturation assumption broken)", heavy+light, 40*64)
+	}
+	ratio := float64(heavy) / float64(light)
+	if math.Abs(ratio-10) > 1 { // within 10% of the 10:1 weight ratio
+		t.Fatalf("admitted share heavy:light = %d:%d (ratio %.2f), want 10:1 ±10%%", heavy, light, ratio)
+	}
+
+	// The fair interleaving must survive into the scheduler's pending order:
+	// AdmitSeq is strictly monotone in drain order.
+	last := int64(0)
+	for _, j := range f.order {
+		if j.AdmitSeq <= last {
+			t.Fatalf("AdmitSeq not monotone: %d after %d", j.AdmitSeq, last)
+		}
+		last = j.AdmitSeq
+	}
+}
+
+// TestBackpressureQueueFull: submissions beyond MaxQueue answer 429 with
+// Retry-After and leave the queue untouched; drain frees capacity.
+func TestBackpressureQueueFull(t *testing.T) {
+	f, ts := frontDoor(t, AdmissionConfig{MaxQueue: 10, Burst: 100})
+
+	// A batch larger than the whole queue is rejected atomically.
+	if resp := postSubmit(t, ts.URL, batchBody("a", 0, 11)); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("oversized batch = %d, want 429", resp.StatusCode)
+	}
+	// Exactly at capacity is accepted.
+	if resp := postSubmit(t, ts.URL, batchBody("a", 100, 10)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("at-capacity batch = %d, want 202", resp.StatusCode)
+	}
+	// One more job cannot fit.
+	resp := postSubmit(t, ts.URL, batchBody("a", 200, 1))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var body struct {
+		Error      string `json:"error"`
+		RetryAfter int    `json:"retry_after_seconds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error != "queue_full" || body.RetryAfter < 1 {
+		t.Fatalf("429 body = %+v", body)
+	}
+	// Drain, then capacity is back.
+	postCycle(t, ts.URL, 0)
+	if len(f.order) != 10 {
+		t.Fatalf("drained %d jobs, want 10", len(f.order))
+	}
+	if resp := postSubmit(t, ts.URL, batchBody("a", 300, 10)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-drain batch = %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestTenantQuotaBound: a tenant's queued jobs cannot exceed its quota, and
+// quota rejections name the tenant; other tenants are unaffected.
+func TestTenantQuotaBound(t *testing.T) {
+	_, ts := frontDoor(t, AdmissionConfig{
+		MaxQueue: 100,
+		Tenants:  []TenantConfig{{Name: "capped", Weight: 1, Quota: 5}},
+	})
+	if resp := postSubmit(t, ts.URL, batchBody("capped", 0, 5)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("within-quota = %d, want 202", resp.StatusCode)
+	}
+	resp := postSubmit(t, ts.URL, batchBody("capped", 10, 1))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota = %d, want 429", resp.StatusCode)
+	}
+	var body struct {
+		Error  string `json:"error"`
+		Tenant string `json:"tenant"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error != "tenant_quota" || body.Tenant != "capped" {
+		t.Fatalf("quota 429 body = %+v", body)
+	}
+	// An unrelated tenant still has the run of the remaining queue.
+	if resp := postSubmit(t, ts.URL, batchBody("other", 20, 20)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("other tenant = %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestMalformedBatchRejectsAtomically is the malformed-batch semantics test:
+// a batch with one invalid job must be rejected as a unit with a per-item
+// error body, leaving both the ingress queue and the scheduler's pending
+// queue untouched.
+func TestMalformedBatchRejectsAtomically(t *testing.T) {
+	f, ts := frontDoor(t, AdmissionConfig{})
+	body := []byte(`[
+		{"id":1,"class":"BE","type":"Unconstrained","k":1,"base_runtime":10,"slowdown":1},
+		{"id":2,"class":"NOPE","type":"Unconstrained","k":1,"base_runtime":10,"slowdown":1},
+		{"id":3,"class":"BE","type":"Unconstrained","k":1,"base_runtime":10,"slowdown":1}
+	]`)
+	resp := postSubmit(t, ts.URL, body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid batch = %d, want 400", resp.StatusCode)
+	}
+	var rej struct {
+		Error string `json:"error"`
+		Items []struct {
+			ID     int    `json:"id"`
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		} `json:"items"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rej); err != nil {
+		t.Fatal(err)
+	}
+	if len(rej.Items) != 3 {
+		t.Fatalf("per-item body has %d items, want 3: %+v", len(rej.Items), rej)
+	}
+	if rej.Items[0].Status != "ok" || rej.Items[1].Status != "error" || rej.Items[2].Status != "unvalidated" {
+		t.Fatalf("item statuses = %+v", rej.Items)
+	}
+	if !strings.Contains(rej.Items[1].Error, "unknown class") {
+		t.Fatalf("item 2 error = %q", rej.Items[1].Error)
+	}
+
+	// Duplicate IDs within a batch are invalid too.
+	dup := append(append([]byte(nil), batchBody("a", 7, 1)[:len(batchBody("a", 7, 1))-1]...), ',')
+	dup = append(dup, batchBody("a", 7, 1)[1:]...)
+	if resp := postSubmit(t, ts.URL, dup); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("in-batch duplicate = %d, want 400", resp.StatusCode)
+	}
+
+	// Nothing reached the queue or the scheduler.
+	postCycle(t, ts.URL, 0)
+	if len(f.order) != 0 {
+		t.Fatalf("scheduler saw %d jobs from rejected batches", len(f.order))
+	}
+}
+
+// TestSubmitStreamNDJSON: the streaming mode admits line by line, reports a
+// per-line verdict, and keeps going past malformed lines.
+func TestSubmitStreamNDJSON(t *testing.T) {
+	f, ts := frontDoor(t, AdmissionConfig{MaxQueue: 2})
+	stream := strings.Join([]string{
+		`{"id":1,"class":"BE","type":"Unconstrained","k":1,"base_runtime":10,"slowdown":1}`,
+		`this is not json`,
+		`{"id":2,"class":"BE","type":"Unconstrained","k":1,"base_runtime":10,"slowdown":1}`,
+		`{"id":3,"class":"BE","type":"Unconstrained","k":1,"base_runtime":10,"slowdown":1}`,
+	}, "\n")
+	resp, err := http.Post(ts.URL+"/v1/submit", "application/x-ndjson", strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("stream returned %d verdicts, want 4:\n%s", len(lines), raw)
+	}
+	var verdicts []string
+	for i, ln := range lines {
+		var v struct {
+			Status     string `json:"status"`
+			Reason     string `json:"reason"`
+			RetryAfter int    `json:"retry_after_seconds"`
+		}
+		if err := json.Unmarshal([]byte(ln), &v); err != nil {
+			t.Fatalf("verdict line %d not JSON: %v\n%s", i, err, ln)
+		}
+		verdicts = append(verdicts, v.Status)
+		if v.Status == "rejected" && (v.Reason != "queue_full" || v.RetryAfter < 1) {
+			t.Fatalf("rejected verdict missing backpressure fields: %s", ln)
+		}
+	}
+	want := []string{"accepted", "error", "accepted", "rejected"}
+	for i := range want {
+		if verdicts[i] != want[i] {
+			t.Fatalf("verdicts = %v, want %v", verdicts, want)
+		}
+	}
+	postCycle(t, ts.URL, 0)
+	if len(f.order) != 2 {
+		t.Fatalf("scheduler got %d jobs from stream, want 2", len(f.order))
+	}
+}
+
+// TestAdmissionObservability: queue depth, per-tenant counters, and the
+// admission-latency histogram appear on /metrics, and /v1/status carries the
+// admission block.
+func TestAdmissionObservability(t *testing.T) {
+	_, ts := frontDoor(t, AdmissionConfig{
+		MaxQueue: 50,
+		Tenants:  []TenantConfig{{Name: "a", Weight: 2, Quota: -1}},
+	})
+	postSubmit(t, ts.URL, batchBody("a", 0, 3))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"tetrisched_admission_queue_depth 3",
+		"tetrisched_admission_queue_capacity 50",
+		`tetrisched_admission_tenant_queued{tenant="a"} 3`,
+		`tetrisched_admission_enqueued_total{tenant="a"} 3`,
+		`tetrisched_admission_admitted_total{tenant="a"} 0`,
+		"tetrisched_admission_latency_seconds_count 1",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var st StatusResponse
+	sresp, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Admission == nil || st.Admission.Queued != 3 || len(st.Admission.Tenants) != 1 {
+		t.Fatalf("status admission block = %+v", st.Admission)
+	}
+	if ten := st.Admission.Tenants[0]; ten.Name != "a" || ten.Weight != 2 || ten.Enqueued != 3 {
+		t.Fatalf("tenant status = %+v", ten)
+	}
+}
+
+// TestConcurrentClients hammers submit (batch + stream), cycle, status,
+// metrics, legacy job posts, and completions from concurrent clients. It
+// exists to run under -race (tier-1 `make race`): any unsynchronized state
+// in the handlers shows up here.
+func TestConcurrentClients(t *testing.T) {
+	_, ts := frontDoor(t, AdmissionConfig{MaxQueue: 1 << 16, Burst: 256})
+	client := ts.Client()
+
+	var wg sync.WaitGroup
+	do := func(n int, f func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				f(i)
+			}
+		}()
+	}
+	post := func(path, ctype string, body []byte) {
+		resp, err := client.Post(ts.URL+path, ctype, bytes.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			t.Errorf("%s returned %d", path, resp.StatusCode)
+		}
+	}
+	// Four batch submitters on disjoint ID ranges, plus one that collides
+	// with the first on purpose (conflict path).
+	for g := 0; g < 4; g++ {
+		g := g
+		do(50, func(i int) {
+			post("/v1/submit", "application/json", batchBody(fmt.Sprintf("t%d", g), 1_000_000+g*100_000+i*16, 16))
+		})
+	}
+	do(50, func(i int) {
+		post("/v1/submit", "application/json", batchBody("t0", 1_000_000+i*16, 16))
+	})
+	do(30, func(i int) {
+		line := fmt.Sprintf(`{"id":%d,"tenant":"s","class":"BE","type":"Unconstrained","k":1,"base_runtime":5,"slowdown":1}`, 2_000_000+i)
+		post("/v1/submit", "application/x-ndjson", []byte(line+"\n"+line+"\n"))
+	})
+	do(40, func(i int) {
+		post("/v1/cycle", "application/json", []byte(fmt.Sprintf(`{"now":%d,"free":[]}`, i)))
+	})
+	do(40, func(i int) {
+		post("/v1/jobs", "application/json", []byte(fmt.Sprintf(
+			`{"id":%d,"class":"BE","type":"Unconstrained","k":1,"base_runtime":5,"slowdown":1}`, 3_000_000+i)))
+	})
+	do(40, func(i int) {
+		post("/v1/completions", "application/json", []byte(fmt.Sprintf(`{"job_id":%d,"now":%d}`, 3_000_000+i, i)))
+	})
+	get := func(path string) {
+		resp, err := client.Get(ts.URL + path)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	do(60, func(i int) { get("/v1/status") })
+	do(60, func(i int) { get("/metrics") })
+	wg.Wait()
+}

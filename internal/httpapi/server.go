@@ -8,8 +8,10 @@
 package httpapi
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -25,6 +27,7 @@ import (
 // JobMsg is the wire form of a job submission.
 type JobMsg struct {
 	ID          int     `json:"id"`
+	Tenant      string  `json:"tenant,omitempty"` // multi-tenant front door (POST /v1/submit)
 	Class       string  `json:"class"` // "SLO" | "BE"
 	Type        string  `json:"type"`  // "Unconstrained" | "GPU" | "MPI" | "Elastic"
 	Submit      int64   `json:"submit"`
@@ -45,7 +48,7 @@ func (m *JobMsg) ToJob() (*workload.Job, error) {
 		ID: m.ID, Submit: m.Submit, K: m.K, MinK: m.MinK,
 		BaseRuntime: m.BaseRuntime, Slowdown: m.Slowdown,
 		Deadline: m.Deadline, EstErr: m.EstErr, Reserved: m.Reserved,
-		DataNodes: m.DataNodes, Priority: m.Priority,
+		DataNodes: m.DataNodes, Priority: m.Priority, Tenant: m.Tenant,
 	}
 	switch m.Class {
 	case "SLO":
@@ -82,7 +85,7 @@ func FromJob(j *workload.Job) JobMsg {
 		Submit: j.Submit, K: j.K, MinK: j.MinK,
 		BaseRuntime: j.BaseRuntime, Slowdown: j.Slowdown,
 		Deadline: j.Deadline, EstErr: j.EstErr, Reserved: j.Reserved,
-		DataNodes: j.DataNodes, Priority: j.Priority,
+		DataNodes: j.DataNodes, Priority: j.Priority, Tenant: j.Tenant,
 	}
 }
 
@@ -152,6 +155,8 @@ type StatusResponse struct {
 	// Solver carries cumulative solve telemetry when the wrapped scheduler
 	// exposes it (core.Scheduler does); absent otherwise.
 	Solver *SolverStatusMsg `json:"solver,omitempty"`
+	// Admission is the front-door ingress-queue state (POST /v1/submit).
+	Admission *AdmissionStatusMsg `json:"admission,omitempty"`
 }
 
 // solveStatsSource is implemented by schedulers that expose cumulative MILP
@@ -189,6 +194,12 @@ func (h *histogram) observe(v float64) {
 
 // Server wraps a scheduler behind the HTTP interface. It serializes all
 // scheduler access, mirroring the single-threaded TetriSched daemon.
+//
+// Locking: s.mu guards the scheduler and the job/running maps; the admission
+// ingress queue (s.adm) carries its own lock so the submit hot path never
+// waits behind an in-flight MILP solve. The only lock order ever taken is
+// s.mu → adm.mu (status/metrics/cycle); no path acquires them the other way
+// around.
 type Server struct {
 	mu       sync.Mutex
 	sched    sim.Scheduler
@@ -196,6 +207,9 @@ type Server struct {
 	jobs     map[int]*workload.Job
 	running  map[int]bool
 	tracer   *trace.Tracer
+
+	adm    *admission
+	admLog *admissionLog
 
 	// Daemon-side observability counters (see docs/OBSERVABILITY.md).
 	cycles      uint64
@@ -205,14 +219,40 @@ type Server struct {
 	solveHist   *histogram
 }
 
-// NewServer wraps sched; universe is the cluster size (node ID bound).
+// NewServer wraps sched; universe is the cluster size (node ID bound). The
+// admission front door starts with default limits (AdmissionConfig zero
+// value); tune it with SetAdmission before serving.
 func NewServer(sched sim.Scheduler, universe int) *Server {
 	return &Server{
 		sched:     sched,
 		universe:  universe,
 		jobs:      make(map[int]*workload.Job),
 		running:   make(map[int]bool),
+		adm:       newAdmission(AdmissionConfig{}),
 		solveHist: newHistogram(solveLatencyBuckets),
+	}
+}
+
+// SetAdmission replaces the front-door admission configuration (queue bound,
+// tenant weights/quotas, drain burst). Call before serving; it resets any
+// queued state.
+func (s *Server) SetAdmission(cfg AdmissionConfig) *Server {
+	s.adm = newAdmission(cfg)
+	return s
+}
+
+// SetAdmissionLog streams one NDJSON record per admission verdict (batch
+// accepted/rejected, stream totals) to w. Records are buffered; call
+// FlushAdmissionLog on shutdown. Call before serving.
+func (s *Server) SetAdmissionLog(w io.Writer) *Server {
+	s.admLog = newAdmissionLog(w)
+	return s
+}
+
+// FlushAdmissionLog flushes any buffered admission-log records.
+func (s *Server) FlushAdmissionLog() {
+	if s.admLog != nil {
+		s.admLog.flush()
 	}
 }
 
@@ -229,12 +269,67 @@ func (s *Server) SetTracer(tr *trace.Tracer) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/submit", s.handleSubmit)
 	mux.HandleFunc("/v1/cycle", s.handleCycle)
 	mux.HandleFunc("/v1/completions", s.handleCompletion)
 	mux.HandleFunc("/v1/status", s.handleStatus)
 	mux.HandleFunc("/v1/trace", s.handleTrace)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
+}
+
+// admissionLog streams NDJSON admission records to a writer. Records are
+// buffered (bufio) and must be flushed on shutdown; one record covers one
+// batch verdict or one completed stream, never one job — the log stays
+// proportional to request rate, not job rate.
+type admissionLog struct {
+	mu sync.Mutex
+	bw *bufio.Writer
+}
+
+func newAdmissionLog(w io.Writer) *admissionLog {
+	return &admissionLog{bw: bufio.NewWriterSize(w, 32<<10)}
+}
+
+func (l *admissionLog) record(mode, tenant, outcome string, jobs, code int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	fmt.Fprintf(l.bw, `{"t":%q,"mode":%q,"tenant":%q,"jobs":%d,"outcome":%q,"code":%d}`+"\n",
+		time.Now().UTC().Format(time.RFC3339Nano), mode, tenant, jobs, outcome, code)
+	l.mu.Unlock()
+}
+
+func (l *admissionLog) flush() {
+	l.mu.Lock()
+	l.bw.Flush()
+	l.mu.Unlock()
+}
+
+// logAdmission records one batch verdict. A batch may mix tenants; the log
+// names the tenant when uniform and "multi" otherwise.
+func (s *Server) logAdmission(jobs []*workload.Job, outcome string, code int) {
+	if s.admLog == nil {
+		return
+	}
+	tenant := jobs[0].Tenant
+	for _, j := range jobs[1:] {
+		if j.Tenant != tenant {
+			tenant = "multi"
+			break
+		}
+	}
+	s.admLog.record("batch", tenant, outcome, len(jobs), code)
+}
+
+// logStream records one completed NDJSON stream's totals.
+func (s *Server) logStream(accepted, rejected, malformed int64) {
+	if s.admLog == nil {
+		return
+	}
+	s.admLog.record("stream", "", fmt.Sprintf("accepted=%d rejected=%d malformed=%d",
+		accepted, rejected, malformed), int(accepted), 0)
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {
@@ -293,8 +388,30 @@ func (s *Server) handleCycle(w http.ResponseWriter, r *http.Request) {
 		}
 		free.Add(n)
 	}
+	// Weighted-fair drain: move up to Burst queued jobs from the ingress
+	// queue into the scheduler's pending queue before this cycle plans.
+	// drain takes only adm.mu and finishes before s.mu is acquired.
+	admitted := s.adm.drain(s.adm.cfg.Burst)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if len(admitted) > 0 {
+		fresh := 0
+		for _, j := range admitted {
+			if _, dup := s.jobs[j.ID]; dup {
+				// Survived enqueue-side dup checks but collides with a job
+				// the scheduler already knows (e.g. resubmitted after a
+				// previous drain): drop it here rather than corrupting the
+				// scheduler's books.
+				s.adm.noteDupDrop(j.Tenant)
+				continue
+			}
+			s.jobs[j.ID] = j
+			s.sched.Submit(j.Submit, j)
+			fresh++
+		}
+		s.tracer.Instant("admit", "drain", trace.I("jobs", int64(fresh)),
+			trace.I("dup_dropped", int64(len(admitted)-fresh)))
+	}
 	cr := s.sched.Cycle(req.Now, free)
 	s.cycles++
 	s.decisions += uint64(len(cr.Decisions))
@@ -349,6 +466,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Running:   len(s.running),
 		Universe:  s.universe,
 		Cycles:    s.cycles,
+		Admission: s.adm.status(),
 	}
 	if src, ok := s.sched.(solveStatsSource); ok {
 		st := src.SolveStatsSnapshot()
@@ -419,16 +537,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("tetrisched_jobs_running", "Jobs believed running.", float64(len(s.running)))
 	gauge("tetrisched_cluster_nodes", "Cluster size (node ID universe).", float64(s.universe))
 
-	const hist = "tetrisched_solve_latency_seconds"
-	fmt.Fprintf(&b, "# HELP %s Per-cycle MILP solver wall-clock.\n# TYPE %s histogram\n", hist, hist)
-	cum := uint64(0)
-	for i, ub := range s.solveHist.buckets {
-		cum += s.solveHist.counts[i]
-		fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", hist, trimFloat(ub), cum)
-	}
-	cum += s.solveHist.counts[len(s.solveHist.buckets)]
-	fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", hist, cum)
-	fmt.Fprintf(&b, "%s_sum %g\n%s_count %d\n", hist, s.solveHist.sum, hist, s.solveHist.count)
+	writeHistogram(&b, "tetrisched_solve_latency_seconds",
+		"Per-cycle MILP solver wall-clock.", s.solveHist)
+
+	s.adm.writeMetrics(&b)
 
 	if src, ok := s.sched.(solveStatsSource); ok {
 		st := src.SolveStatsSnapshot()
@@ -461,5 +573,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // trimFloat renders a histogram bound the way Prometheus clients expect
 // (no exponent for these magnitudes).
 func trimFloat(v float64) string {
-	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", v), "0"), ".")
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+}
+
+// writeHistogram renders one fixed-bucket histogram in Prometheus text
+// exposition format.
+func writeHistogram(b *strings.Builder, name, help string, h *histogram) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := uint64(0)
+	for i, ub := range h.buckets {
+		cum += h.counts[i]
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, trimFloat(ub), cum)
+	}
+	cum += h.counts[len(h.buckets)]
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %g\n%s_count %d\n", name, h.sum, name, h.count)
 }

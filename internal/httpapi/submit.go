@@ -1,0 +1,303 @@
+package httpapi
+
+// POST /v1/submit — the batched, multi-tenant submission endpoint. Two wire
+// modes share the path, selected by Content-Type:
+//
+//   - application/json (default): the body is a JSON array of job objects.
+//     Admission is atomic — every job is validated and the whole batch is
+//     enqueued, or the batch is rejected and the ingress queue is untouched.
+//     One invalid job fails the batch with 400 and a per-item error body.
+//   - application/x-ndjson: the body is a stream of newline-delimited job
+//     objects, admitted line by line; the response streams one NDJSON
+//     verdict per input line. Streaming trades batch atomicity for
+//     constant-memory ingestion of arbitrarily long submissions.
+//
+// Backpressure is explicit: when the ingress queue (or the tenant's quota)
+// cannot take the submission, the batch mode answers 429 with a Retry-After
+// header and the stream mode emits per-line "rejected" verdicts. The daemon
+// never buffers beyond the configured queue bound.
+//
+// The handler is the daemon's hot path and is written allocation-consciously:
+// request bodies decode into pooled scratch buffers, responses are built by
+// appending to a pooled byte slice (no encoding/json on the success path),
+// and tenant accounting reuses one long-lived map (no per-request map churn).
+// The only per-job allocations are the workload.Job values themselves, which
+// the scheduler retains.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"tetrisched/internal/trace"
+	"tetrisched/internal/workload"
+)
+
+// maxSubmitBody bounds one batch request body; streams are unbounded in
+// total size but bounded per line.
+const maxSubmitBody = 16 << 20
+
+// maxStreamLine bounds one NDJSON line.
+const maxStreamLine = 1 << 20
+
+// submitScratch is the pooled per-request working set of the submit path.
+type submitScratch struct {
+	body []byte
+	msgs []JobMsg
+	jobs []*workload.Job
+	resp []byte
+}
+
+var submitPool = sync.Pool{New: func() interface{} { return new(submitScratch) }}
+
+func getScratch() *submitScratch {
+	sc := submitPool.Get().(*submitScratch)
+	sc.msgs = sc.msgs[:0]
+	sc.jobs = sc.jobs[:0]
+	sc.resp = sc.resp[:0]
+	return sc
+}
+
+func putScratch(sc *submitScratch) {
+	if cap(sc.body) > maxSubmitBody/4 || cap(sc.resp) > maxSubmitBody/4 {
+		return // drop oversized outliers instead of pinning them in the pool
+	}
+	submitPool.Put(sc)
+}
+
+// readBody reads r into buf (reused across requests), enforcing the body
+// limit.
+func readBody(buf []byte, r io.Reader) ([]byte, error) {
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+		if len(buf) > maxSubmitBody {
+			return buf, fmt.Errorf("httpapi: request body exceeds %d bytes", maxSubmitBody)
+		}
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	t0 := time.Now()
+	if ct := r.Header.Get("Content-Type"); ct == "application/x-ndjson" {
+		s.submitStream(w, r)
+	} else {
+		s.submitBatch(w, r, t0)
+	}
+	s.adm.observeLatency(time.Since(t0))
+}
+
+// submitBatch handles the JSON-array mode.
+func (s *Server) submitBatch(w http.ResponseWriter, r *http.Request, t0 time.Time) {
+	sc := getScratch()
+	defer putScratch(sc)
+	sp := s.tracer.Begin("admit", "submit.batch")
+
+	var err error
+	sc.body, err = readBody(sc.body, r.Body)
+	if err != nil {
+		sp.End(trace.S("error", err.Error()))
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := json.Unmarshal(sc.body, &sc.msgs); err != nil {
+		sp.End(trace.S("error", err.Error()))
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("httpapi: batch must be a JSON array of jobs: %v", err))
+		return
+	}
+	if len(sc.msgs) == 0 {
+		sp.End(trace.S("error", "empty batch"))
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("httpapi: empty batch"))
+		return
+	}
+
+	// Validate every item before anything is enqueued (atomic semantics).
+	// badAt remembers the first conversion failure; the per-item error body
+	// is built from a second pass so the common all-valid path does no
+	// error-string work at all.
+	badAt, badErr := -1, error(nil)
+	for i := range sc.msgs {
+		j, err := sc.msgs[i].ToJob()
+		if err != nil {
+			badAt, badErr = i, err
+			break
+		}
+		if j.Tenant == "" {
+			j.Tenant = DefaultTenant
+		}
+		sc.jobs = append(sc.jobs, j)
+	}
+	if badAt >= 0 {
+		sp.End(trace.S("error", badErr.Error()), trace.I("jobs", int64(len(sc.msgs))))
+		s.writeBatchErrors(w, sc, badAt, badErr)
+		return
+	}
+	out := s.adm.tryEnqueue(sc.jobs)
+	switch out.reason {
+	case rejectNone:
+		s.logAdmission(sc.jobs, "accepted", http.StatusAccepted)
+		sp.End(trace.I("jobs", int64(len(sc.jobs))), trace.S("outcome", "accepted"))
+		sc.resp = append(sc.resp, `{"accepted":`...)
+		sc.resp = strconv.AppendInt(sc.resp, int64(len(sc.jobs)), 10)
+		sc.resp = append(sc.resp, '}', '\n')
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		w.Write(sc.resp)
+	case rejectInvalid:
+		err := fmt.Errorf("httpapi: duplicate job %d (in batch or already queued)", sc.jobs[out.badIndex].ID)
+		sp.End(trace.S("error", err.Error()), trace.I("jobs", int64(len(sc.jobs))))
+		s.writeBatchErrors(w, sc, out.badIndex, err)
+	default: // rejectFull, rejectQuota
+		s.logAdmission(sc.jobs, out.reason.String(), http.StatusTooManyRequests)
+		sp.End(trace.I("jobs", int64(len(sc.jobs))), trace.S("outcome", out.reason.String()))
+		s.writeBackpressure(w, sc, out)
+	}
+}
+
+// writeBackpressure emits the 429 contract: Retry-After header plus a small
+// JSON body naming the reason (queue_full | tenant_quota) and echoing the
+// advisory backoff.
+func (s *Server) writeBackpressure(w http.ResponseWriter, sc *submitScratch, out enqueueOutcome) {
+	retry := s.adm.retryAfterSeconds()
+	sc.resp = append(sc.resp, `{"error":"`...)
+	sc.resp = append(sc.resp, out.reason.String()...)
+	if out.reason == rejectQuota {
+		sc.resp = append(sc.resp, `","tenant":"`...)
+		sc.resp = append(sc.resp, out.tenant...)
+	}
+	sc.resp = append(sc.resp, `","retry_after_seconds":`...)
+	sc.resp = strconv.AppendInt(sc.resp, int64(retry), 10)
+	sc.resp = append(sc.resp, '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	w.WriteHeader(http.StatusTooManyRequests)
+	w.Write(sc.resp)
+}
+
+// writeBatchErrors emits the atomic-reject 400 body: one entry per batch
+// item, with the first failing item carrying its error. Items after the
+// first failure are reported unvalidated (the batch is rejected as a unit
+// either way, and stopping at the first error keeps the reject path cheap
+// under malformed floods).
+func (s *Server) writeBatchErrors(w http.ResponseWriter, sc *submitScratch, badAt int, badErr error) {
+	type itemErr struct {
+		ID     int    `json:"id"`
+		Status string `json:"status"`
+		Error  string `json:"error,omitempty"`
+	}
+	items := make([]itemErr, len(sc.msgs))
+	for i := range sc.msgs {
+		items[i] = itemErr{ID: sc.msgs[i].ID, Status: "ok"}
+		switch {
+		case i == badAt:
+			items[i].Status = "error"
+			items[i].Error = badErr.Error()
+		case i > badAt:
+			items[i].Status = "unvalidated"
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	json.NewEncoder(w).Encode(struct {
+		Error string    `json:"error"`
+		Items []itemErr `json:"items"`
+	}{Error: "invalid batch (rejected atomically; no job was enqueued)", Items: items})
+}
+
+// submitStream handles the NDJSON mode: one job per line in, one verdict
+// per line out. Lines are admitted independently (no batch atomicity); an
+// unparseable line yields an "error" verdict and the stream continues.
+func (s *Server) submitStream(w http.ResponseWriter, r *http.Request) {
+	sp := s.tracer.Begin("admit", "submit.stream")
+	sc := getScratch()
+	defer putScratch(sc)
+
+	scan := bufio.NewScanner(r.Body)
+	scan.Buffer(make([]byte, 64<<10), maxStreamLine)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	retry := s.adm.retryAfterSeconds()
+
+	var accepted, rejected, malformed int64
+	one := make([]*workload.Job, 1)
+	lines := 0
+	for scan.Scan() {
+		line := bytes.TrimSpace(scan.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		lines++
+		var msg JobMsg
+		var verdict string
+		var detail error
+		if err := json.Unmarshal(line, &msg); err != nil {
+			verdict, detail = "error", err
+		} else if j, err := msg.ToJob(); err != nil {
+			verdict, detail = "error", err
+		} else {
+			if j.Tenant == "" {
+				j.Tenant = DefaultTenant
+			}
+			one[0] = j
+			switch out := s.adm.tryEnqueue(one); out.reason {
+			case rejectNone:
+				verdict = "accepted"
+			case rejectInvalid:
+				verdict, detail = "error", fmt.Errorf("duplicate job %d", j.ID)
+			default:
+				verdict, detail = "rejected", fmt.Errorf("%s", out.reason)
+			}
+		}
+		sc.resp = sc.resp[:0]
+		sc.resp = append(sc.resp, `{"id":`...)
+		sc.resp = strconv.AppendInt(sc.resp, int64(msg.ID), 10)
+		sc.resp = append(sc.resp, `,"status":"`...)
+		sc.resp = append(sc.resp, verdict...)
+		sc.resp = append(sc.resp, '"')
+		switch verdict {
+		case "accepted":
+			accepted++
+		case "rejected":
+			rejected++
+			sc.resp = append(sc.resp, `,"reason":"`...)
+			sc.resp = append(sc.resp, detail.Error()...)
+			sc.resp = append(sc.resp, `","retry_after_seconds":`...)
+			sc.resp = strconv.AppendInt(sc.resp, int64(retry), 10)
+		default:
+			malformed++
+			sc.resp = append(sc.resp, `,"error":`...)
+			sc.resp = strconv.AppendQuote(sc.resp, detail.Error())
+		}
+		sc.resp = append(sc.resp, '}', '\n')
+		w.Write(sc.resp)
+		if flusher != nil && lines%256 == 0 {
+			flusher.Flush()
+		}
+	}
+	if err := scan.Err(); err != nil {
+		fmt.Fprintf(w, `{"status":"error","error":%q}`+"\n", err.Error())
+	}
+	sp.End(trace.I("accepted", accepted), trace.I("rejected", rejected),
+		trace.I("malformed", malformed))
+	s.logStream(accepted, rejected, malformed)
+}

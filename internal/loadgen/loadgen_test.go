@@ -1,0 +1,107 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tetrisched/internal/bitset"
+	"tetrisched/internal/httpapi"
+	"tetrisched/internal/sim"
+	"tetrisched/internal/workload"
+)
+
+// nullSched accepts every submission and does nothing — the daemon under
+// test here is the admission path, not the solver.
+type nullSched struct{ submitted int }
+
+func (n *nullSched) Name() string                                   { return "null" }
+func (n *nullSched) Submit(now int64, j *workload.Job)              { n.submitted++ }
+func (n *nullSched) JobFinished(now int64, j *workload.Job)         {}
+func (n *nullSched) Cycle(now int64, f *bitset.Set) sim.CycleResult { return sim.CycleResult{} }
+
+func testDaemon(t *testing.T, maxQueue int) *httptest.Server {
+	t.Helper()
+	var s sim.Scheduler = &nullSched{}
+	api := httpapi.NewServer(s, 8).SetAdmission(httpapi.AdmissionConfig{MaxQueue: maxQueue})
+	ts := httptest.NewServer(api.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestClosedLoopMaxJobs(t *testing.T) {
+	ts := testDaemon(t, 1<<16)
+	res, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Workers:  4,
+		Batch:    32,
+		MaxJobs:  320,
+		Duration: 10 * time.Second, // quota stops the run long before this
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 320 {
+		t.Fatalf("submitted %d jobs, want exactly MaxJobs=320", res.Jobs)
+	}
+	if res.Accepted != 320 || res.Rejected != 0 || res.ErrorRate() != 0 {
+		t.Fatalf("unexpected outcome: %+v", res)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("latency percentiles not populated: p50=%v p99=%v", res.P50, res.P99)
+	}
+	if res.Elapsed > 5*time.Second {
+		t.Fatalf("MaxJobs did not stop the run early (elapsed %v)", res.Elapsed)
+	}
+}
+
+func TestBackpressureAccounting(t *testing.T) {
+	// Queue of 10 with no cycle driver: the first batch fills it, everything
+	// after is a 429 and must be counted as rejected, not as an error.
+	ts := testDaemon(t, 10)
+	res, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Workers:  2,
+		Batch:    10,
+		MaxJobs:  100,
+		Duration: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 10 {
+		t.Fatalf("accepted %d jobs into a queue of 10", res.Accepted)
+	}
+	if res.Rejected != 90 {
+		t.Fatalf("rejected %d, want 90", res.Rejected)
+	}
+	if res.ErrorRate() != 0 {
+		t.Fatalf("backpressure counted as errors: %+v", res)
+	}
+	if got := res.RejectRate(); got < 0.89 || got > 0.91 {
+		t.Fatalf("reject rate %.3f, want 0.90", got)
+	}
+}
+
+func TestOpenLoop(t *testing.T) {
+	ts := testDaemon(t, 1<<16)
+	res, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Workers:  4,
+		Batch:    16,
+		Rate:     4000,
+		Duration: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs == 0 || res.Accepted == 0 {
+		t.Fatalf("open loop submitted nothing: %+v", res)
+	}
+	// The schedule plus drops must account for every dispatch opportunity;
+	// mostly we care that nothing was misclassified.
+	if res.Err4xx+res.Err5xx+res.ErrNet != 0 {
+		t.Fatalf("open loop saw errors: %+v", res)
+	}
+}

@@ -109,6 +109,21 @@ type Job struct {
 	// Reserved marks an SLO job whose reservation was accepted by the
 	// admission-control plan; set by the simulation driver at submit time.
 	Reserved bool
+
+	// Tenant names the submitting tenant when the job entered through the
+	// daemon's multi-tenant front door (internal/httpapi); empty for
+	// simulator-generated jobs. Carried for accounting only — placement
+	// policy never reads it.
+	Tenant string
+
+	// AdmitSeq is the global admission sequence number stamped by the
+	// daemon's weighted-fair dequeue when the job leaves the ingress queue
+	// for the scheduler (internal/httpapi); 0 for jobs that never passed
+	// through an admission queue. Within a (priority, Submit) tie the
+	// scheduler's pending order follows AdmitSeq, so a tenant's fair-share
+	// position survives into the pending queue instead of collapsing back
+	// to job-ID order.
+	AdmitSeq int64
 }
 
 // WidthRange returns the acceptable allocation widths [min, max].
