@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test test-short race bench bench-compare bench-all bench-smoke loadgen-smoke cover experiments experiments-quick examples clean
+.PHONY: all verify build vet test test-short test-shuffle race bench bench-compare bench-all bench-smoke loadgen-smoke shard-smoke cover experiments experiments-quick examples clean
 
 all: build vet test race
 
@@ -22,6 +22,12 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Order-independence pass: the full suite in a randomized test order, so
+# cross-test state leaks (shared schedulers, package-level caches) surface in
+# CI instead of on a developer's machine.
+test-shuffle:
+	$(GO) test -shuffle=on ./...
+
 # Race-detector pass; required since the MILP solver gained shared mutable
 # state (parallel branch-and-bound workers).
 race:
@@ -36,7 +42,7 @@ race:
 # drift (burstable-VM throttling) doesn't masquerade as a regression.
 BENCHTIME ?= 1s
 bench:
-	$(GO) test -run='^$$' -bench='BenchmarkBatchedSolve|BenchmarkSchedulerCycle|BenchmarkLoadgen' -benchmem -count=6 -benchtime=$(BENCHTIME) . \
+	$(GO) test -run='^$$' -bench='BenchmarkBatchedSolve|BenchmarkSchedulerCycle|BenchmarkShardedCycle|BenchmarkLoadgen' -benchmem -count=6 -benchtime=$(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -o BENCH_milp.json
 
 # Regression gate: re-run the tracked benchmarks and diff min ns/op (best of
@@ -49,7 +55,7 @@ bench:
 # Numbers are only comparable on the machine that produced the baseline —
 # run this locally before `make bench` rewrites the baseline, not in CI.
 bench-compare:
-	$(GO) test -run='^$$' -bench='BenchmarkBatchedSolve|BenchmarkSchedulerCycle|BenchmarkLoadgen' -benchmem -count=6 -benchtime=$(BENCHTIME) . \
+	$(GO) test -run='^$$' -bench='BenchmarkBatchedSolve|BenchmarkSchedulerCycle|BenchmarkShardedCycle|BenchmarkLoadgen' -benchmem -count=6 -benchtime=$(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_milp.json
 
 # Every benchmark in the repo (reduced-scale paper tables/figures included).
@@ -66,6 +72,13 @@ bench-smoke:
 # nonzero accepted throughput and zero 5xx responses; wired into CI.
 loadgen-smoke:
 	$(GO) run ./cmd/loadgen -spawn -duration 2s -workers 8 -cycle-every 50ms -min-qps 100 -max-5xx 0
+
+# Sharded control-plane smoke: a 4-shard tetrisim run end to end (concurrent
+# per-shard planners, optimistic commit, gang arbitrator) plus the
+# commit-time conflict-path tests under the race detector; wired into CI.
+shard-smoke:
+	$(GO) run ./cmd/tetrisim -cluster rc256het -workload gshet -jobs 120 -shards 4 -v | tail -n 6
+	$(GO) test -race -count=1 -run 'Shard|ReuseMap|RateLimit' ./...
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -18,6 +18,7 @@ import (
 	"tetrisched/internal/experiments"
 	"tetrisched/internal/httpapi"
 	"tetrisched/internal/loadgen"
+	"tetrisched/internal/metrics"
 	"tetrisched/internal/milp"
 	"tetrisched/internal/rayon"
 	"tetrisched/internal/sim"
@@ -276,6 +277,40 @@ func BenchmarkSchedulerCycleChurn1(b *testing.B)    { benchSchedulerCycleChurn(b
 func BenchmarkSchedulerCycleChurn10(b *testing.B)   { benchSchedulerCycleChurn(b, 10, false) }
 func BenchmarkSchedulerCycleChurn50(b *testing.B)   { benchSchedulerCycleChurn(b, 50, false) }
 func BenchmarkSchedulerCycleChurnCold(b *testing.B) { benchSchedulerCycleChurn(b, 1, true) }
+
+// benchShardedCycle runs the full RC10K sharding scenario (internal/
+// experiments.ExtShard's code path, bench scale) once per iteration: a
+// 10240-node cluster under a GS HET workload whose unconstrained jobs couple
+// the monolithic solve into one global MILP per cycle. Alongside ns/op it
+// reports the two acceptance quantities tracked in BENCH_milp.json: mean
+// scheduling-cycle latency (multi-shard must beat monolithic — concurrent
+// per-shard planners shrink the coupled search) and SLO attainment (optimistic
+// commit must hold within 2% of the monolithic policy).
+func benchShardedCycle(b *testing.B, shards int) {
+	c := experiments.RC10K()
+	sc := experiments.Bench()
+	mix := workload.GSHET(sc.Jobs * 8)
+	var cycleMS, slo float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, sh, err := experiments.RunSharded(c, mix, 1000, sc, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if shards > 0 && sh.Cycles == 0 {
+			b.Fatal("sharded run never exercised the shard control plane")
+		}
+		cycleMS = metrics.NewDurationCDF(sum.CycleLatencies).Mean()
+		slo = sum.SLOAll
+	}
+	b.ReportMetric(cycleMS, "cycle-ms")
+	b.ReportMetric(slo, "slo-pct")
+}
+
+func BenchmarkShardedCycleMonolithic(b *testing.B) { benchShardedCycle(b, 0) }
+func BenchmarkShardedCycle1Shards(b *testing.B)    { benchShardedCycle(b, 1) }
+func BenchmarkShardedCycle4Shards(b *testing.B)    { benchShardedCycle(b, 4) }
+func BenchmarkShardedCycle16Shards(b *testing.B)   { benchShardedCycle(b, 16) }
 
 // benchLoadgen drives the HTTP front door (POST /v1/submit → bounded ingress
 // queue → weighted-fair drain) with b.N jobs through internal/loadgen and

@@ -29,7 +29,7 @@ func main() {
 		seeds   = flag.Int("seeds", 0, "override seeds per point")
 		solver  = flag.Duration("solver-limit", 0, "override per-solve time limit")
 		workers = flag.Int("solver-workers", 0, "branch-and-bound workers per MILP solve (0 = serial)")
-		ext     = flag.String("ext", "", "extension experiments: scale | preempt | elastic")
+		ext     = flag.String("ext", "", "extension experiments: scale | preempt | elastic | shard")
 		tsv     = flag.String("tsv", "", "also write each sub-figure as TSV into this directory")
 	)
 	flag.Parse()
@@ -87,6 +87,8 @@ func main() {
 		err = experiments.ExtPreempt(os.Stdout, sc)
 	case *ext == "elastic":
 		err = experiments.ExtElastic(os.Stdout, sc)
+	case *ext == "shard":
+		err = experiments.ExtShard(os.Stdout, sc)
 	default:
 		flag.Usage()
 		os.Exit(2)

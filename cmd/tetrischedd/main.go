@@ -67,12 +67,13 @@ func main() {
 		gap       = flag.Float64("gap", 0.1, "relative MIP gap")
 		noPresolv = flag.Bool("no-presolve", false, "disable MILP presolve/model reduction (bisection switch)")
 		noIncr    = flag.Bool("no-incremental", false, "disable cross-cycle component reuse (bisection switch)")
+		shards    = flag.Int("shards", 0, "sharded control plane: concurrent per-shard planners with optimistic commit (0 = monolithic)")
 		traceRing = flag.Int("trace-ring", 16384, "trace ring size in events served by /v1/trace (0 disables tracing)")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = pprof disabled)")
 		drain     = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 		maxQueue  = flag.Int("max-queue", 65536, "bounded ingress queue for POST /v1/submit; overflow answers 429 + Retry-After")
 		burst     = flag.Int("admit-burst", 1024, "max jobs the weighted-fair dequeue admits to the scheduler per cycle")
-		tenants   = flag.String("tenants", "", "JSON file of per-tenant admission config: [{\"name\",\"weight\",\"quota\"},...] (quota 0 = lockout, <0 = unlimited)")
+		tenants   = flag.String("tenants", "", "JSON file of per-tenant admission config: [{\"name\",\"weight\",\"quota\",\"rate\",\"burst\"},...] (quota 0 = lockout, <0 = unlimited; rate in jobs/sec, <=0 = unlimited)")
 		admitLog  = flag.String("admission-log", "", "append NDJSON admission-decision records to this file (empty = disabled)")
 	)
 	flag.Parse()
@@ -109,6 +110,7 @@ func main() {
 		Gap:                *gap,
 		DisablePresolve:    *noPresolv,
 		DisableIncremental: *noIncr,
+		Shards:             *shards,
 		Tracer:             tr,
 	})
 	admCfg := httpapi.AdmissionConfig{MaxQueue: *maxQueue, Burst: *burst}

@@ -45,6 +45,7 @@ func main() {
 		workers     = flag.Int("solver-workers", 1, "branch-and-bound workers per MILP solve (0 = one per CPU)")
 		noPresolve  = flag.Bool("no-presolve", false, "disable MILP presolve/model reduction (bisection switch)")
 		noIncr      = flag.Bool("no-incremental", false, "disable cross-cycle component reuse (bisection switch)")
+		shards      = flag.Int("shards", 0, "sharded control plane: concurrent per-shard planners with optimistic commit (0 = monolithic)")
 		verbose     = flag.Bool("v", false, "print per-job outcomes")
 		gantt       = flag.Bool("gantt", false, "render the space-time schedule grid")
 		saveTrace   = flag.String("save-trace", "", "write the generated workload to a JSON trace file")
@@ -130,7 +131,7 @@ func main() {
 	var sched sim.Scheduler
 	base := core.Config{CyclePeriod: *cycle, PlanAhead: *planAhead, PlanQuantum: *planQuantum,
 		SolverTimeLimit: *limit, SolverWorkers: solverWorkers(*workers), Tracer: tracer,
-		DisablePresolve: *noPresolve, DisableIncremental: *noIncr}
+		DisablePresolve: *noPresolve, DisableIncremental: *noIncr, Shards: *shards}
 	switch strings.ToLower(*schedName) {
 	case "tetrisched", "full":
 		sched = core.New(c, base)
@@ -190,6 +191,10 @@ func main() {
 				st.PresolveFixed, st.PresolveRows, st.PresolveCliques, st.PresolveRounds, st.PresolveTime.Round(time.Microsecond))
 			fmt.Printf("reuse: hits=%d misses=%d hit-rate=%.1f%%\n",
 				st.ReuseHits, st.ReuseMisses, 100*st.ReuseHitRate())
+			if sh := cs.ShardStatsSnapshot(); sh.Shards > 0 {
+				fmt.Printf("shard: shards=%d partitioner=%s cycles=%d spanning=%d conflicts=%d requeued=%d arb-launched=%d arb-deferred=%d\n",
+					sh.Shards, sh.Partitioner, sh.Cycles, sh.Spanning, sh.Conflicts, sh.Requeued, sh.ArbLaunched, sh.ArbDeferred)
+			}
 		}
 		fmt.Println("\n  id class type  k   submit    start   finish deadline  outcome")
 		for i := range res.Stats {

@@ -26,6 +26,10 @@ type Component struct {
 	// VarMap maps each component variable index to its index in the parent
 	// model. Nil means the identity mapping (single-component case).
 	VarMap []int
+	// Shard is the forced-partition class this component belongs to when the
+	// decomposition was produced by ForcedComponents, or -1 for the natural
+	// decomposition of Components. Observability only; the solver ignores it.
+	Shard int
 
 	parent *Compiled
 }
@@ -36,6 +40,35 @@ type Component struct {
 // (so the result is deterministic for a given model). A batch that does not
 // decompose returns a single Component wrapping the original model.
 func (c *Compiled) Components() []*Component {
+	return c.components(nil, -1)
+}
+
+// ForcedComponents is Components under an externally imposed job partition:
+// assign[j] names the class (shard) of batch job j, and jobs in different
+// classes are kept in different components even when a shared supply row
+// couples them. A shared row that is cut this way is a ≤-row with nonnegative
+// coefficients (the only cross-job rows the compiler emits), so each side
+// receives a restricted copy — its own terms against the row's full RHS. The
+// copies are optimistic: each class plans as if it had the row's whole
+// capacity, and the caller is responsible for resolving the resulting
+// over-commits when the per-class plans are applied (the sharded scheduler
+// does this at commit time; see internal/shard). A cross-class row that is
+// not safe to cut (not ≤, or a negative coefficient — none today) falls back
+// to coupling its jobs, which merges their classes for this batch and keeps
+// the decomposition exact rather than silently unsound.
+//
+// merge, when ≥ 0, names one class whose jobs are additionally forced into a
+// single component regardless of natural connectivity — the sharded
+// scheduler's gang arbitrator, which serializes jobs spanning shards through
+// one solve. Pass merge < 0 to disable.
+//
+// Natural connected-component refinement still applies within each class, so
+// a one-class assignment reproduces Components exactly.
+func (c *Compiled) ForcedComponents(assign []int, merge int) []*Component {
+	return c.components(assign, merge)
+}
+
+func (c *Compiled) components(assign []int, merge int) []*Component {
 	nj := len(c.jobs)
 	if nj == 0 {
 		return nil
@@ -54,7 +87,7 @@ func (c *Compiled) Components() []*Component {
 	}
 
 	// Union-find over jobs: every constraint ties together the jobs of all
-	// variables it mentions.
+	// variables it mentions — unless a forced partition cuts it.
 	uf := make([]int, nj)
 	for i := range uf {
 		uf[i] = i
@@ -67,13 +100,43 @@ func (c *Compiled) Components() []*Component {
 		}
 		return x
 	}
-	for _, con := range c.Model.Cons {
+	// cut[i] marks parent constraint i as sliced across the forced partition
+	// (restricted per-component copies instead of whole-row ownership). Nil
+	// when no forced partition is in effect.
+	var cut []bool
+	for conIdx, con := range c.Model.Cons {
 		if len(con.Terms) < 2 {
+			continue
+		}
+		if assign != nil && spansClasses(con.Terms, varJob, assign) && cuttable(con) {
+			if cut == nil {
+				cut = make([]bool, len(c.Model.Cons))
+			}
+			cut[conIdx] = true
 			continue
 		}
 		a := find(varJob[con.Terms[0].Var])
 		for _, t := range con.Terms[1:] {
 			b := find(varJob[t.Var])
+			if a != b {
+				uf[b] = a
+			}
+		}
+	}
+	if assign != nil && merge >= 0 {
+		// Force every job of the merge class into one component (the gang
+		// arbitrator): spanning gangs plan against each other in a single
+		// model instead of optimistically double-booking shared capacity.
+		first := -1
+		for j := 0; j < nj; j++ {
+			if assign[j] != merge {
+				continue
+			}
+			if first < 0 {
+				first = j
+				continue
+			}
+			a, b := find(first), find(j)
 			if a != b {
 				uf[b] = a
 			}
@@ -96,8 +159,16 @@ func (c *Compiled) Components() []*Component {
 		compOf[j] = ci
 		jobSets[ci] = append(jobSets[ci], j)
 	}
+	shardOf := func(jobs []int) int {
+		if assign == nil {
+			return -1
+		}
+		return assign[jobs[0]]
+	}
 	if len(jobSets) == 1 {
-		return []*Component{{Jobs: jobSets[0], Model: c.Model, parent: c}}
+		// Zero-copy: with one component every cut row's terms all live here,
+		// so the parent model is the component model verbatim.
+		return []*Component{{Jobs: jobSets[0], Model: c.Model, Shard: shardOf(jobSets[0]), parent: c}}
 	}
 
 	// Slice the parent model per component. full2sub is reused across
@@ -108,7 +179,7 @@ func (c *Compiled) Components() []*Component {
 	}
 	out := make([]*Component, len(jobSets))
 	for ci, jobs := range jobSets {
-		cc := &Component{Jobs: jobs, parent: c}
+		cc := &Component{Jobs: jobs, Shard: shardOf(jobs), parent: c}
 		sub := milp.NewModel(c.Model.Sense)
 		for _, j := range jobs {
 			hi := nv
@@ -122,8 +193,15 @@ func (c *Compiled) Components() []*Component {
 				sub.AddVar(fv.Name, fv.Type, fv.Lb, fv.Ub, fv.Obj)
 			}
 		}
-		for _, con := range c.Model.Cons {
-			if len(con.Terms) == 0 || compOf[varJob[con.Terms[0].Var]] != ci {
+		for conIdx, con := range c.Model.Cons {
+			if len(con.Terms) == 0 {
+				continue
+			}
+			if cut != nil && cut[conIdx] {
+				c.sliceCutRow(sub, con, full2sub)
+				continue
+			}
+			if compOf[varJob[con.Terms[0].Var]] != ci {
 				continue
 			}
 			// All of the constraint's variables belong to this component by
@@ -141,6 +219,55 @@ func (c *Compiled) Components() []*Component {
 		}
 	}
 	return out
+}
+
+// spansClasses reports whether a constraint's terms touch jobs in more than
+// one forced-partition class.
+func spansClasses(terms []milp.Term, varJob, assign []int) bool {
+	first := assign[varJob[terms[0].Var]]
+	for _, t := range terms[1:] {
+		if assign[varJob[t.Var]] != first {
+			return true
+		}
+	}
+	return false
+}
+
+// cuttable reports whether slicing a row into per-class restricted copies
+// with the full RHS keeps each copy a valid relaxation: only ≤-rows with
+// nonnegative coefficients qualify (dropping terms can only loosen them).
+func cuttable(con milp.Constraint) bool {
+	if con.Op != milp.LE {
+		return false
+	}
+	for _, t := range con.Terms {
+		if t.Coef < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// sliceCutRow appends this component's restricted copy of a cut cross-class
+// row to sub: the terms mapped by full2sub, against the row's full RHS.
+// Copies with no local term, or that cannot bind even at every local
+// variable's upper bound, are dropped (mirroring the compiler's own
+// non-binding supply-row elision).
+func (c *Compiled) sliceCutRow(sub *milp.Model, con milp.Constraint, full2sub []int) {
+	var terms []milp.Term
+	maxUse := 0.0
+	for _, t := range con.Terms {
+		sv := full2sub[t.Var]
+		if sv < 0 {
+			continue
+		}
+		terms = append(terms, milp.Term{Var: milp.VarID(sv), Coef: t.Coef})
+		maxUse += t.Coef * c.Model.Vars[t.Var].Ub
+	}
+	if len(terms) == 0 || maxUse <= con.RHS {
+		return
+	}
+	sub.Cons = append(sub.Cons, milp.Constraint{Name: con.Name, Terms: terms, Op: con.Op, RHS: con.RHS})
 }
 
 // Lift scatters a component-space vector into a full-model vector (entries

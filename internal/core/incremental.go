@@ -87,12 +87,23 @@ type pendEntry struct {
 // next cache epoch. Marks made later in this cycle (launches, preemptions)
 // land in a fresh set and dirty the following cycle.
 func (s *Scheduler) beginIncCycle(comp *compiler.Compiled, reqs []*strlgen.Request, rel []int64) *incCycle {
+	// The epoch map is recycled rather than re-made: commit parks the
+	// displaced epoch in reuseNext, and the next cycle clears and reuses its
+	// backing storage. Steady-state cycles therefore allocate no map at all
+	// (TestReuseMapSteadyStateAllocs).
+	next := s.reuseNext
+	if next != nil {
+		clear(next)
+		s.reuseNext = nil
+	} else {
+		next = make(map[uint64]*reuseEntry)
+	}
 	ic := &incCycle{
 		s: s, comp: comp, reqs: reqs,
 		dirty:    s.dirtyJobs,
 		grpDirty: make(map[int]bool),
 		changed:  bitset.New(s.c.N()),
-		next:     make(map[uint64]*reuseEntry),
+		next:     next,
 	}
 	s.dirtyJobs = make(map[int]struct{})
 	if s.lastRel == nil {
@@ -170,5 +181,31 @@ func (ic *incCycle) commit(partSols []*milp.Solution) {
 		p := ic.pend[i]
 		ic.next[p.key] = &reuseEntry{fp: p.fp, sol: sol, ids: p.ids}
 	}
-	ic.s.reuse = ic.next
+	s := ic.s
+	if len(ic.next) > s.reuseHW {
+		s.reuseHW = len(ic.next)
+	}
+	// A Go map never returns bucket memory to the allocator, so a backlog
+	// spike would pin its high-water footprint forever if the map were simply
+	// cleared each epoch. Recycle the displaced map as next cycle's scratch,
+	// and when the live set has fallen below a quarter of the high-water mark
+	// copy it into a fresh right-sized map so the oversized backing storage
+	// is actually released.
+	if s.reuseHW > reuseShrinkMin && len(ic.next)*4 < s.reuseHW {
+		shrunk := make(map[uint64]*reuseEntry, len(ic.next))
+		for k, v := range ic.next {
+			shrunk[k] = v
+		}
+		s.reuse = shrunk
+		s.reuseNext = nil
+		s.reuseHW = len(shrunk)
+		return
+	}
+	old := s.reuse
+	s.reuse = ic.next
+	s.reuseNext = old
 }
+
+// reuseShrinkMin is the high-water mark below which the reuse map is never
+// shrunk: re-making tiny maps would cost more than the bytes they pin.
+const reuseShrinkMin = 64

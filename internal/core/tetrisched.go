@@ -21,6 +21,7 @@ import (
 	"tetrisched/internal/compiler"
 	"tetrisched/internal/milp"
 	"tetrisched/internal/randx"
+	"tetrisched/internal/shard"
 	"tetrisched/internal/sim"
 	"tetrisched/internal/strl"
 	"tetrisched/internal/strlgen"
@@ -80,6 +81,19 @@ type Config struct {
 	// switch in the DisableWarmStart/DisablePresolve mold — placements are
 	// policy-identical either way, only slower (docs/SOLVER.md).
 	DisableIncremental bool
+	// Shards enables the sharded shared-state control plane (internal/shard,
+	// docs/SHARDING.md): the cluster is partitioned into Shards shards, each
+	// planned by its own concurrent per-shard sub-solve over an optimistic
+	// copy of the shared supply, with commit-time double-claim detection
+	// (losers requeue in order) and a gang arbitrator serializing jobs whose
+	// space-time demand spans shards. 0 — the default and the kill switch —
+	// keeps the monolithic global MILP; 1 is policy-identical to monolithic
+	// (pinned by the sharding parity property test). Ignored in Greedy mode.
+	Shards int
+	// Partitioner overrides how the cluster is split into shards; nil uses
+	// shard.ByProfile (racks dealt round-robin within each hardware profile).
+	// Consulted only when Shards > 0.
+	Partitioner shard.Partitioner
 	// BEDecay overrides the best-effort value decay horizon in seconds.
 	BEDecay int64
 	// Tracer, when non-nil, records per-cycle spans (generate, compile,
@@ -113,6 +127,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SolverWorkers <= 0 {
 		c.SolverWorkers = 1
+		if c.Shards > 1 && !c.Greedy {
+			// Default the solver pool to one worker per shard so the per-shard
+			// planners actually run concurrently; an explicit SolverWorkers
+			// still wins. Deterministic apportioning keeps runs reproducible.
+			c.SolverWorkers = c.Shards
+		}
 	}
 	return c
 }
@@ -252,10 +272,41 @@ type Scheduler struct {
 	dirtyJobs map[int]struct{}       // jobs touched since the last global cycle
 	lastRel   []int64                // previous cycle's believed release slices
 	reuse     map[uint64]*reuseEntry // job-set key → cached component sub-solution
+	reuseNext map[uint64]*reuseEntry // recycled scratch for next cycle's epoch map
+	reuseHW   int                    // high-water len of the reuse map since last shrink
+
+	// Sharded control-plane state (internal/shard, docs/SHARDING.md); all nil
+	// or zero when Config.Shards == 0 (the monolithic kill switch).
+	shardSets  []*bitset.Set // node set per shard, from the Partitioner
+	shardState *shard.State  // per-node allocation epochs, bumped on every change
+	shardSnap  []uint64      // epoch snapshot taken at the head of each cycle
+	shardMoved []int         // scratch for MovedSince
+	shardStats ShardStats
 
 	// Stats accumulates solver telemetry for the scalability analysis.
 	Stats SolveStats
 }
+
+// ShardStats accumulates sharded control-plane telemetry: how often the
+// optimistic per-shard plans collided at commit time and how the gang
+// arbitrator resolved spanning jobs.
+type ShardStats struct {
+	Shards      int    // configured shard count (0 = monolithic)
+	Partitioner string // partitioning strategy name ("" when monolithic)
+	Cycles      int64  // sharded global cycles executed
+	Spanning    int64  // jobs routed to the gang arbitrator
+	Conflicts   int64  // commit-time cross-shard double-claims detected
+	Requeued    int64  // jobs requeued intact after losing a double-claim
+	ArbLaunched int64  // arbitrator jobs launched
+	ArbDeferred int64  // arbitrator jobs deferred or requeued intact
+}
+
+// ShardStatsSnapshot returns a copy of the cumulative sharding telemetry; the
+// daemon surfaces it via /v1/status and /metrics.
+func (s *Scheduler) ShardStatsSnapshot() ShardStats { return s.shardStats }
+
+// sharded reports whether the sharded control plane is active.
+func (s *Scheduler) sharded() bool { return s.shardState != nil }
 
 // SolveStatsSnapshot returns a copy of the cumulative solver telemetry; the
 // daemon surfaces it via /v1/status and /metrics.
@@ -284,6 +335,16 @@ func New(c *cluster.Cluster, cfg Config) *Scheduler {
 		s.dirtyJobs = make(map[int]struct{})
 		s.reuse = make(map[uint64]*reuseEntry)
 	}
+	if cfg.Shards > 0 && !cfg.Greedy {
+		p := cfg.Partitioner
+		if p == nil {
+			p = shard.ByProfile{}
+		}
+		s.shardSets = p.Partition(c, cfg.Shards)
+		s.shardState = shard.NewState(c.N())
+		s.shardStats.Shards = len(s.shardSets)
+		s.shardStats.Partitioner = p.Name()
+	}
 	return s
 }
 
@@ -302,6 +363,9 @@ func (s *Scheduler) Submit(now int64, j *workload.Job) {
 // any cached component sub-solution naming it. The nodes it held change
 // their believed release slices, which the per-cycle release diff picks up.
 func (s *Scheduler) JobFinished(now int64, j *workload.Job) {
+	if r, ok := s.running[j.ID]; ok && s.sharded() {
+		s.shardState.Bump(r.nodes) // the nodes' allocation state changed
+	}
 	delete(s.running, j.ID)
 	s.markJobDirty(j.ID)
 	s.purgeReuse(j.ID)
@@ -493,7 +557,31 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 	// exponential in coupled model size, so the split shrinks search trees
 	// multiplicatively; seeds, heuristics, and trace spans are routed to the
 	// component owning each job.
-	comps := comp.Components()
+	//
+	// In sharded mode the decomposition is forced along shard lines instead:
+	// each shard's jobs become that shard's planner (a concurrent sub-solve
+	// over an optimistic copy of the shared supply), jobs no shard can hold
+	// are serialized through the gang-arbitrator component, and the epoch
+	// snapshot taken here is what commit-time conflict classification
+	// validates against (docs/SHARDING.md).
+	var comps []*compiler.Component
+	var assign []int
+	arbClass := -1
+	if s.sharded() {
+		shSpan := s.tr.Begin("shard", "shard.assign")
+		s.shardSnap = s.shardState.Snapshot(s.shardSnap)
+		var spanning int
+		assign, spanning = shard.Assign(s.shardSets, reqs)
+		arbClass = len(s.shardSets)
+		comps = comp.ForcedComponents(assign, arbClass)
+		s.shardStats.Cycles++
+		s.shardStats.Spanning += int64(spanning)
+		shSpan.End(trace.I("shards", int64(len(s.shardSets))),
+			trace.I("spanning", int64(spanning)),
+			trace.I("components", int64(len(comps))))
+	} else {
+		comps = comp.Components()
+	}
 	mopts := milp.Options{
 		Gap:              s.cfg.Gap,
 		TimeLimit:        s.cfg.SolverTimeLimit,
@@ -630,15 +718,39 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 			continue
 		}
 		granted[req.Job.ID] = true
+		arbJob := arbClass >= 0 && assign[g.Job] == arbClass
 		if g.Start > 0 {
 			s.lastJob[req.Job.ID] = planChoice{key: opt.Key, slice: g.Start}
 			s.tr.Instant("place", "defer", trace.I("job", int64(req.Job.ID)),
 				trace.S("option", opt.Key), trace.I("start_slice", g.Start))
+			if arbJob {
+				s.shardStats.ArbDeferred++
+			}
 			continue
 		}
+		// Commit the placement against the shared free set, in decode order
+		// (priority order — losers of a race never jump ahead of winners).
 		nodes := s.pickNodes(comp, g, working, nil, 0)
 		if nodes == nil {
+			// Optimistic commit failed: the nodes this shard planned on are
+			// gone. When nodes claimed by other commits since the epoch
+			// snapshot would have satisfied the grant, this is a cross-shard
+			// double-claim; either way the job stays pending intact and
+			// replans next cycle, keeping its (priority, Submit, AdmitSeq,
+			// ID) queue position.
+			if arbClass >= 0 && s.classifyConflict(comp, g, working) {
+				s.shardStats.Conflicts++
+				s.shardStats.Requeued++
+				s.tr.Instant("shard", "shard.conflict", trace.I("job", int64(req.Job.ID)),
+					trace.I("shard", int64(assign[g.Job])))
+			}
+			if arbJob {
+				s.shardStats.ArbDeferred++
+			}
 			continue // extraction failed; stay pending and replan
+		}
+		if arbJob {
+			s.shardStats.ArbLaunched++
 		}
 		s.launch(now, req.Job, nodes, opt, res)
 	}
@@ -655,21 +767,64 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 	}
 }
 
+// classifyConflict decides whether a failed commit was a cross-shard
+// double-claim: would the grant have placed if the nodes whose epoch moved
+// since this cycle's snapshot (claimed by commits that beat this one) were
+// still available? A failure that not even those nodes would cure — e.g. the
+// release-slice optimism of an overrunning job — is not a conflict. Pure
+// reads: it must not touch s.rng, or classification would perturb later
+// placements and break single-shard parity with the monolithic path.
+func (s *Scheduler) classifyConflict(comp *compiler.Compiled, g compiler.LeafGrant, working *bitset.Set) bool {
+	s.shardMoved = s.shardState.MovedSince(s.shardSnap, s.shardMoved)
+	if len(s.shardMoved) == 0 {
+		return false
+	}
+	aug := working.Clone()
+	added := false
+	for _, n := range s.shardMoved {
+		if !aug.Contains(n) {
+			aug.Add(n)
+			added = true
+		}
+	}
+	if !added {
+		return false
+	}
+	return wouldPlace(comp, g, aug)
+}
+
+// wouldPlace reports whether a start-now grant could be satisfied from set.
+// Partition groups are disjoint, so per-group counting needs no consumption.
+func wouldPlace(comp *compiler.Compiled, g compiler.LeafGrant, set *bitset.Set) bool {
+	for group, count := range g.Counts {
+		if comp.Part.Groups[group].IntersectCount(set) < count {
+			return false
+		}
+	}
+	return true
+}
+
 // endComponentSpan closes one component sub-solve's span with the component's
 // size and the sub-solution's telemetry.
 func endComponentSpan(sp trace.Span, cc *compiler.Component, sol *milp.Solution) {
+	args := make([]trace.Arg, 0, 8)
+	if cc.Shard >= 0 {
+		args = append(args, trace.I("shard", int64(cc.Shard)))
+	}
 	if sol == nil {
-		sp.End(trace.S("status", "error"),
+		args = append(args, trace.S("status", "error"),
 			trace.I("jobs", int64(len(cc.Jobs))), trace.I("vars", int64(cc.Model.NumVars())))
+		sp.End(args...)
 		return
 	}
-	sp.End(trace.S("status", sol.Status.String()),
+	args = append(args, trace.S("status", sol.Status.String()),
 		trace.I("jobs", int64(len(cc.Jobs))),
 		trace.I("vars", int64(cc.Model.NumVars())),
 		trace.I("cons", int64(cc.Model.NumConstraints())),
 		trace.F("objective", sol.Objective),
 		trace.I("nodes", int64(sol.Nodes)),
 		trace.I("workers", int64(sol.Workers)))
+	sp.End(args...)
 }
 
 // tracePresolve emits the solve.presolve span for one solve's reduction
@@ -783,6 +938,9 @@ func (s *Scheduler) preemptRescue(now int64, working *bitset.Set, reqs []*strlge
 					trace.I("rescued", int64(j.ID)))
 				delete(s.running, v.job.ID)
 				s.markJobDirty(v.job.ID)
+				if s.sharded() {
+					s.shardState.Bump(v.nodes)
+				}
 				for _, n := range v.nodes {
 					working.Add(n)
 				}
@@ -923,6 +1081,9 @@ func (s *Scheduler) launch(now int64, j *workload.Job, nodes []int, opt *strlgen
 	s.tr.Instant("place", "launch", trace.I("job", int64(j.ID)), trace.S("option", opt.Key),
 		trace.I("nodes", int64(len(nodes))), trace.I("est_dur", opt.EstDur))
 	res.Decisions = append(res.Decisions, sim.Decision{Job: j, Nodes: nodes})
+	if s.sharded() {
+		s.shardState.Bump(nodes)
+	}
 	s.running[j.ID] = &runInfo{job: j, nodes: nodes, estEnd: now + opt.EstDur, launched: now}
 	s.removePending(j)
 	delete(s.lastJob, j.ID)

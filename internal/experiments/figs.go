@@ -262,6 +262,7 @@ func All(w io.Writer, sc Scale) error {
 		{"Extension: scale", ExtScale},
 		{"Extension: preemption", ExtPreempt},
 		{"Extension: elastic", ExtElastic},
+		{"Extension: sharding", ExtShard},
 	}
 	for _, s := range steps {
 		fmt.Fprintf(w, "\n================ %s ================\n", s.name)

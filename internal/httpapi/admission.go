@@ -13,6 +13,7 @@ package httpapi
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -34,6 +35,15 @@ type TenantConfig struct {
 	// queue at once. 0 rejects every submission from the tenant (hard
 	// lockout); negative means bounded only by the global queue size.
 	Quota int `json:"quota"`
+	// Rate is the tenant's sustained submission rate in jobs/second,
+	// enforced by a token bucket on /v1/submit: a batch that exceeds the
+	// available tokens is rejected whole with 429 and a Retry-After sized to
+	// the deficit. <= 0 (the default) disables rate limiting.
+	Rate float64 `json:"rate"`
+	// RateBurst is the token bucket's capacity — the largest instantaneous
+	// burst the tenant may submit after idling. <= 0 defaults to
+	// max(1, ceil(Rate)). Ignored unless Rate > 0.
+	RateBurst int `json:"burst"`
 }
 
 // AdmissionConfig configures the ingress queue.
@@ -84,6 +94,7 @@ const (
 	rejectNone    rejectReason = iota
 	rejectFull                 // global queue at MaxQueue
 	rejectQuota                // tenant at its quota (or quota 0: locked out)
+	rejectRate                 // tenant's token bucket exhausted
 	rejectInvalid              // duplicate job ID in batch or ingress queue
 )
 
@@ -93,6 +104,8 @@ func (r rejectReason) String() string {
 		return "queue_full"
 	case rejectQuota:
 		return "tenant_quota"
+	case rejectRate:
+		return "tenant_rate"
 	case rejectInvalid:
 		return "invalid"
 	}
@@ -112,6 +125,13 @@ type tenantState struct {
 	// start-time fair queuing; dequeue always serves the smallest vt.
 	vt float64
 
+	// Token bucket (rate <= 0: unlimited). tokens refills at rate/second up
+	// to burstCap; a batch spends one token per job, atomically.
+	rate     float64
+	burstCap float64
+	tokens   float64
+	lastFill time.Time
+
 	// Batch-scan scratch: marks this tenant as seen in the current
 	// validation pass without a per-request map (batchEpoch is compared to
 	// the admission-wide epoch counter).
@@ -123,6 +143,7 @@ type tenantState struct {
 	admitted      uint64 // jobs drained into the scheduler
 	rejectedFull  uint64
 	rejectedQuota uint64
+	rejectedRate  uint64 // rejected by the tenant's token bucket
 	rejectedDup   uint64 // dropped at drain: ID already known to the scheduler
 }
 
@@ -167,6 +188,7 @@ type admission struct {
 	epoch   uint64           // batch-validation epoch (see tenantState.batchEpoch)
 	touched []*tenantState   // reusable scratch for per-batch tenant groups
 	latency *histogram       // submit-request handling latency
+	now     func() time.Time // clock; swapped out by token-bucket tests
 }
 
 func newAdmission(cfg AdmissionConfig) *admission {
@@ -176,6 +198,7 @@ func newAdmission(cfg AdmissionConfig) *admission {
 		tenants: make(map[string]*tenantState),
 		queued:  make(map[int]struct{}),
 		latency: newHistogram(admitLatencyBuckets),
+		now:     time.Now,
 	}
 	for _, tc := range cfg.Tenants {
 		a.tenant(tc.Name).configure(tc, cfg)
@@ -189,6 +212,29 @@ func (t *tenantState) configure(tc TenantConfig, cfg AdmissionConfig) {
 		t.weight = cfg.DefaultWeight
 	}
 	t.quota = tc.Quota
+	t.rate = tc.Rate
+	if t.rate > 0 {
+		t.burstCap = float64(tc.RateBurst)
+		if tc.RateBurst <= 0 {
+			t.burstCap = math.Max(1, math.Ceil(t.rate))
+		}
+		t.tokens = t.burstCap // a fresh bucket starts full
+		t.lastFill = time.Time{}
+	}
+}
+
+// refill credits the token bucket for the time elapsed since the last refill.
+// The first call after configuration only anchors the clock — the bucket was
+// created full.
+func (t *tenantState) refill(now time.Time) {
+	if t.lastFill.IsZero() {
+		t.lastFill = now
+		return
+	}
+	if dt := now.Sub(t.lastFill).Seconds(); dt > 0 {
+		t.tokens = math.Min(t.burstCap, t.tokens+dt*t.rate)
+		t.lastFill = now
+	}
 }
 
 // tenant returns (creating if needed) the state for name. Callers hold a.mu
@@ -208,11 +254,14 @@ func (a *admission) tenant(name string) *tenantState {
 // enqueueOutcome reports one tryEnqueue call's result.
 type enqueueOutcome struct {
 	reason rejectReason
-	// tenant is the tenant that triggered a quota rejection (or the sole
-	// tenant of a single-job enqueue).
+	// tenant is the tenant that triggered a quota or rate rejection (or the
+	// sole tenant of a single-job enqueue).
 	tenant string
 	// badIndex is the batch index of the duplicate job on rejectInvalid.
 	badIndex int
+	// retryAfter overrides the advisory Retry-After seconds when > 0; a rate
+	// rejection sizes it to when the bucket will have refilled enough.
+	retryAfter int
 }
 
 // tryEnqueue atomically admits all jobs into the ingress queue or none of
@@ -232,12 +281,38 @@ func (a *admission) tryEnqueue(jobs []*workload.Job) enqueueOutcome {
 		}
 		return enqueueOutcome{reason: rejectFull}
 	}
-	for _, ts := range a.groupLocked(jobs) {
+	grouped := a.groupLocked(jobs)
+	for _, ts := range grouped {
 		if ts.quota == 0 || (ts.quota > 0 && ts.depth()+ts.batchCount > ts.quota) {
-			for _, t2 := range a.touched {
+			for _, t2 := range grouped {
 				t2.rejectedQuota += uint64(t2.batchCount)
 			}
 			return enqueueOutcome{reason: rejectQuota, tenant: ts.name}
+		}
+	}
+	// Token buckets: refill every rated tenant the batch touches, then check
+	// all of them before any token is spent — the batch is admitted or
+	// rejected as a unit, like quota. Spending happens only after the dup
+	// scan succeeds, so a 400 never burns the tenant's budget.
+	var rateNow time.Time
+	for _, ts := range grouped {
+		if ts.rate <= 0 {
+			continue
+		}
+		if rateNow.IsZero() {
+			rateNow = a.now()
+		}
+		ts.refill(rateNow)
+		if float64(ts.batchCount) > ts.tokens+1e-9 {
+			for _, t2 := range grouped {
+				t2.rejectedRate += uint64(t2.batchCount)
+			}
+			deficit := float64(ts.batchCount) - ts.tokens
+			retry := int(math.Ceil(deficit / ts.rate))
+			if retry < 1 {
+				retry = 1
+			}
+			return enqueueOutcome{reason: rejectRate, tenant: ts.name, retryAfter: retry}
 		}
 	}
 	// Dup scan: insert IDs as we go so in-batch duplicates collide too, and
@@ -251,6 +326,11 @@ func (a *admission) tryEnqueue(jobs []*workload.Job) enqueueOutcome {
 			return enqueueOutcome{reason: rejectInvalid, badIndex: i, tenant: j.Tenant}
 		}
 		a.queued[j.ID] = struct{}{}
+	}
+	for _, ts := range grouped {
+		if ts.rate > 0 {
+			ts.tokens = math.Max(0, ts.tokens-float64(ts.batchCount))
+		}
 	}
 	for _, j := range jobs {
 		ts := a.tenants[j.Tenant]
@@ -362,11 +442,14 @@ type TenantStatusMsg struct {
 	Name          string  `json:"name"`
 	Weight        float64 `json:"weight"`
 	Quota         int     `json:"quota"`
+	Rate          float64 `json:"rate,omitempty"`
+	RateBurst     float64 `json:"burst,omitempty"`
 	Queued        int     `json:"queued"`
 	Enqueued      uint64  `json:"enqueued"`
 	Admitted      uint64  `json:"admitted"`
 	RejectedFull  uint64  `json:"rejected_full"`
 	RejectedQuota uint64  `json:"rejected_quota"`
+	RejectedRate  uint64  `json:"rejected_rate"`
 	RejectedDup   uint64  `json:"rejected_dup"`
 }
 
@@ -412,6 +495,8 @@ func (a *admission) writeMetrics(b *strings.Builder) {
 		func(t *tenantState) uint64 { return t.rejectedFull })
 	perTenant("tetrisched_admission_rejected_quota_total", "Jobs rejected by tenant quota (429).", "counter",
 		func(t *tenantState) uint64 { return t.rejectedQuota })
+	perTenant("tetrisched_admission_rejected_rate_total", "Jobs rejected by the tenant's token-bucket rate limit (429).", "counter",
+		func(t *tenantState) uint64 { return t.rejectedRate })
 	perTenant("tetrisched_admission_rejected_dup_total", "Queued jobs dropped at drain as duplicates of admitted IDs.", "counter",
 		func(t *tenantState) uint64 { return t.rejectedDup })
 
@@ -427,9 +512,10 @@ func (a *admission) status() *AdmissionStatusMsg {
 	for _, ts := range a.tenants {
 		msg.Tenants = append(msg.Tenants, TenantStatusMsg{
 			Name: ts.name, Weight: ts.weight, Quota: ts.quota, Queued: ts.depth(),
+			Rate: ts.rate, RateBurst: ts.burstCap,
 			Enqueued: ts.enqueued, Admitted: ts.admitted,
 			RejectedFull: ts.rejectedFull, RejectedQuota: ts.rejectedQuota,
-			RejectedDup: ts.rejectedDup,
+			RejectedRate: ts.rejectedRate, RejectedDup: ts.rejectedDup,
 		})
 	}
 	sort.Slice(msg.Tenants, func(i, j int) bool { return msg.Tenants[i].Name < msg.Tenants[j].Name })

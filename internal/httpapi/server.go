@@ -145,6 +145,19 @@ type SolverStatusMsg struct {
 	PresolveMillis  float64 `json:"presolve_millis"`
 }
 
+// ShardStatusMsg is the sharded control-plane telemetry block of a status
+// response — the daemon-side view of core.ShardStats (docs/SHARDING.md).
+type ShardStatusMsg struct {
+	Shards      int    `json:"shards"`
+	Partitioner string `json:"partitioner"`
+	Cycles      int64  `json:"cycles"`
+	Spanning    int64  `json:"spanning_jobs"`
+	Conflicts   int64  `json:"conflicts"`
+	Requeued    int64  `json:"requeued"`
+	ArbLaunched int64  `json:"arbitrator_launched"`
+	ArbDeferred int64  `json:"arbitrator_deferred"`
+}
+
 // StatusResponse summarizes daemon state.
 type StatusResponse struct {
 	Scheduler string `json:"scheduler"`
@@ -155,6 +168,9 @@ type StatusResponse struct {
 	// Solver carries cumulative solve telemetry when the wrapped scheduler
 	// exposes it (core.Scheduler does); absent otherwise.
 	Solver *SolverStatusMsg `json:"solver,omitempty"`
+	// Shard carries sharded control-plane telemetry when the wrapped
+	// scheduler runs with Config.Shards > 0; absent otherwise.
+	Shard *ShardStatusMsg `json:"shard,omitempty"`
 	// Admission is the front-door ingress-queue state (POST /v1/submit).
 	Admission *AdmissionStatusMsg `json:"admission,omitempty"`
 }
@@ -163,6 +179,12 @@ type StatusResponse struct {
 // telemetry (core.Scheduler.SolveStatsSnapshot).
 type solveStatsSource interface {
 	SolveStatsSnapshot() core.SolveStats
+}
+
+// shardStatsSource is implemented by schedulers that expose sharded
+// control-plane telemetry (core.Scheduler.ShardStatsSnapshot).
+type shardStatsSource interface {
+	ShardStatsSnapshot() core.ShardStats
 }
 
 // solveLatencyBuckets are the /metrics histogram bounds for per-cycle MILP
@@ -488,6 +510,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			PresolveMillis:  ms(st.PresolveTime),
 		}
 	}
+	if src, ok := s.sched.(shardStatsSource); ok {
+		if st := src.ShardStatsSnapshot(); st.Shards > 0 {
+			resp.Shard = &ShardStatusMsg{
+				Shards: st.Shards, Partitioner: st.Partitioner, Cycles: st.Cycles,
+				Spanning: st.Spanning, Conflicts: st.Conflicts, Requeued: st.Requeued,
+				ArbLaunched: st.ArbLaunched, ArbDeferred: st.ArbDeferred,
+			}
+		}
+	}
 	writeJSON(w, resp)
 }
 
@@ -565,6 +596,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		const psSec = "tetrisched_solver_presolve_seconds_total"
 		fmt.Fprintf(&b, "# HELP %s Cumulative presolve wall-clock.\n# TYPE %s counter\n%s %g\n",
 			psSec, psSec, psSec, st.PresolveTime.Seconds())
+	}
+
+	if src, ok := s.sched.(shardStatsSource); ok {
+		if st := src.ShardStatsSnapshot(); st.Shards > 0 {
+			gauge("tetrisched_shard_shards", "Configured shard count (0 = monolithic).", float64(st.Shards))
+			counter("tetrisched_shard_cycles_total", "Sharded global cycles executed.", uint64(st.Cycles))
+			counter("tetrisched_shard_spanning_jobs_total", "Jobs routed to the gang arbitrator (demand spans shards).", uint64(st.Spanning))
+			counter("tetrisched_shard_conflicts_total", "Commit-time cross-shard double-claims detected.", uint64(st.Conflicts))
+			counter("tetrisched_shard_requeued_total", "Jobs requeued intact after losing a double-claim.", uint64(st.Requeued))
+			counter("tetrisched_shard_arbitrator_launched_total", "Arbitrator jobs launched.", uint64(st.ArbLaunched))
+			counter("tetrisched_shard_arbitrator_deferred_total", "Arbitrator jobs deferred or requeued intact.", uint64(st.ArbDeferred))
+		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, b.String())

@@ -167,7 +167,7 @@ func (s *Server) submitBatch(w http.ResponseWriter, r *http.Request, t0 time.Tim
 		err := fmt.Errorf("httpapi: duplicate job %d (in batch or already queued)", sc.jobs[out.badIndex].ID)
 		sp.End(trace.S("error", err.Error()), trace.I("jobs", int64(len(sc.jobs))))
 		s.writeBatchErrors(w, sc, out.badIndex, err)
-	default: // rejectFull, rejectQuota
+	default: // rejectFull, rejectQuota, rejectRate
 		s.logAdmission(sc.jobs, out.reason.String(), http.StatusTooManyRequests)
 		sp.End(trace.I("jobs", int64(len(sc.jobs))), trace.S("outcome", out.reason.String()))
 		s.writeBackpressure(w, sc, out)
@@ -175,13 +175,17 @@ func (s *Server) submitBatch(w http.ResponseWriter, r *http.Request, t0 time.Tim
 }
 
 // writeBackpressure emits the 429 contract: Retry-After header plus a small
-// JSON body naming the reason (queue_full | tenant_quota) and echoing the
-// advisory backoff.
+// JSON body naming the reason (queue_full | tenant_quota | tenant_rate) and
+// echoing the advisory backoff. A rate rejection carries a Retry-After sized
+// to the token-bucket deficit instead of the static default.
 func (s *Server) writeBackpressure(w http.ResponseWriter, sc *submitScratch, out enqueueOutcome) {
 	retry := s.adm.retryAfterSeconds()
+	if out.retryAfter > 0 {
+		retry = out.retryAfter
+	}
 	sc.resp = append(sc.resp, `{"error":"`...)
 	sc.resp = append(sc.resp, out.reason.String()...)
-	if out.reason == rejectQuota {
+	if out.reason == rejectQuota || out.reason == rejectRate {
 		sc.resp = append(sc.resp, `","tenant":"`...)
 		sc.resp = append(sc.resp, out.tenant...)
 	}
@@ -250,6 +254,7 @@ func (s *Server) submitStream(w http.ResponseWriter, r *http.Request) {
 		var msg JobMsg
 		var verdict string
 		var detail error
+		lineRetry := retry
 		if err := json.Unmarshal(line, &msg); err != nil {
 			verdict, detail = "error", err
 		} else if j, err := msg.ToJob(); err != nil {
@@ -266,6 +271,9 @@ func (s *Server) submitStream(w http.ResponseWriter, r *http.Request) {
 				verdict, detail = "error", fmt.Errorf("duplicate job %d", j.ID)
 			default:
 				verdict, detail = "rejected", fmt.Errorf("%s", out.reason)
+				if out.retryAfter > 0 {
+					lineRetry = out.retryAfter
+				}
 			}
 		}
 		sc.resp = sc.resp[:0]
@@ -282,7 +290,7 @@ func (s *Server) submitStream(w http.ResponseWriter, r *http.Request) {
 			sc.resp = append(sc.resp, `,"reason":"`...)
 			sc.resp = append(sc.resp, detail.Error()...)
 			sc.resp = append(sc.resp, `","retry_after_seconds":`...)
-			sc.resp = strconv.AppendInt(sc.resp, int64(retry), 10)
+			sc.resp = strconv.AppendInt(sc.resp, int64(lineRetry), 10)
 		default:
 			malformed++
 			sc.resp = append(sc.resp, `,"error":`...)

@@ -1,0 +1,68 @@
+package tetrisched
+
+import (
+	"reflect"
+	"testing"
+
+	"tetrisched/internal/core"
+	"tetrisched/internal/sim"
+)
+
+// TestShardParityProperty is the policy-invariance property of the sharding
+// control plane: a single shard covers the whole cluster, so every forced
+// component is byte-identical to the natural decomposition and a Shards=1 run
+// must produce exactly the same per-job outcomes as the monolithic (Shards=0)
+// scheduler across seeded multi-cycle simulations — arrivals, completions,
+// drops, overruns, node failures, preemptions. The stats assertions keep both
+// sides honest: the monolithic run must never touch the shard machinery, and
+// the sharded run must actually route every cycle through it.
+func TestShardParityProperty(t *testing.T) {
+	const instances = 220
+	var shardCycles int64
+	for i := 0; i < instances; i++ {
+		seed := int64(17000 + i)
+		inst := randomParityInstance(i, seed)
+		run := func(shards int) (*sim.Result, *core.Scheduler) {
+			cfg := inst.cfg
+			cfg.Shards = shards
+			sched := core.New(inst.c, cfg)
+			res, err := sim.Run(sim.Config{
+				Cluster: inst.c, Jobs: inst.mkJobs(), Scheduler: sched, Failures: inst.failures,
+			})
+			if err != nil {
+				t.Fatalf("seed %d (shards=%d): %v", seed, shards, err)
+			}
+			return res, sched
+		}
+		mono, monoSched := run(0)
+		sharded, shSched := run(1)
+
+		if !reflect.DeepEqual(mono.Stats, sharded.Stats) {
+			for j := range mono.Stats {
+				if !reflect.DeepEqual(mono.Stats[j], sharded.Stats[j]) {
+					t.Errorf("seed %d: job %d diverged:\n  monolithic: %+v\n  1-shard:    %+v",
+						seed, j, mono.Stats[j], sharded.Stats[j])
+				}
+			}
+		}
+		if mono.Makespan != sharded.Makespan || mono.BusyNodeSeconds != sharded.BusyNodeSeconds || mono.Stalled != sharded.Stalled {
+			t.Errorf("seed %d: run shape diverged: makespan %d vs %d, busy %d vs %d, stalled %v vs %v",
+				seed, mono.Makespan, sharded.Makespan, mono.BusyNodeSeconds, sharded.BusyNodeSeconds,
+				mono.Stalled, sharded.Stalled)
+		}
+		monoStats := monoSched.ShardStatsSnapshot()
+		if monoStats.Shards != 0 || monoStats.Cycles != 0 {
+			t.Errorf("seed %d: monolithic run touched the shard machinery (shards=%d cycles=%d)",
+				seed, monoStats.Shards, monoStats.Cycles)
+		}
+		shStats := shSched.ShardStatsSnapshot()
+		if shStats.Shards != 1 {
+			t.Errorf("seed %d: sharded run reports %d shards, want 1", seed, shStats.Shards)
+		}
+		shardCycles += shStats.Cycles
+	}
+	if shardCycles == 0 {
+		t.Error("no sharded cycles across any instance; the parity property never exercised the shard path")
+	}
+	t.Logf("aggregate sharded cycles across %d instances: %d", instances, shardCycles)
+}
