@@ -53,10 +53,14 @@ bench:
 # warns. Tune with `go run ./cmd/benchjson -compare BENCH_milp.json
 # -threshold 0.15 -max-single 0.3`.
 # Numbers are only comparable on the machine that produced the baseline —
-# run this locally before `make bench` rewrites the baseline, not in CI.
+# locally, run this before `make bench` rewrites the baseline. CI runs
+# `make bench` first so the gate compares against a same-machine baseline
+# from minutes earlier, with widened BENCHCOMPARE_FLAGS thresholds to absorb
+# shared-runner noise.
+BENCHCOMPARE_FLAGS ?=
 bench-compare:
 	$(GO) test -run='^$$' -bench='BenchmarkBatchedSolve|BenchmarkSchedulerCycle|BenchmarkShardedCycle|BenchmarkLoadgen' -benchmem -count=6 -benchtime=$(BENCHTIME) . \
-		| $(GO) run ./cmd/benchjson -compare BENCH_milp.json
+		| $(GO) run ./cmd/benchjson -compare BENCH_milp.json $(BENCHCOMPARE_FLAGS)
 
 # Every benchmark in the repo (reduced-scale paper tables/figures included).
 bench-all:

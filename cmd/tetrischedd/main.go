@@ -20,7 +20,9 @@
 // The /v1/submit front door admits into a bounded ingress queue (-max-queue)
 // drained into the scheduler by a weighted-fair dequeue at each cycle
 // (-admit-burst jobs per cycle). Per-tenant weights and quotas come from the
-// -tenants JSON file; submissions the queue cannot take are refused with
+// -tenants JSON file, rereadable at runtime with SIGHUP (accrued fair-share
+// and rate-limit state survives the reload); submissions the queue cannot
+// take are refused with
 // 429 + Retry-After rather than buffered. -admission-log appends one NDJSON
 // record per admission decision for offline audit.
 //
@@ -125,6 +127,28 @@ func main() {
 		log.Printf("tetrischedd: %d tenants configured from %s", len(admCfg.Tenants), *tenants)
 	}
 	api := httpapi.NewServer(sched, c.N()).SetTracer(tr).SetAdmission(admCfg)
+	if *tenants != "" {
+		// SIGHUP rereads -tenants and applies it live: limits move, but
+		// queued jobs, fair-share state, and token balances survive.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				buf, err := os.ReadFile(*tenants)
+				if err != nil {
+					log.Printf("tetrischedd: -tenants reload: %v", err)
+					continue
+				}
+				var tcs []httpapi.TenantConfig
+				if err := json.Unmarshal(buf, &tcs); err != nil {
+					log.Printf("tetrischedd: -tenants reload %s: %v", *tenants, err)
+					continue
+				}
+				api.ReconfigureTenants(tcs)
+				log.Printf("tetrischedd: reloaded %d tenants from %s", len(tcs), *tenants)
+			}
+		}()
+	}
 	if *admitLog != "" {
 		f, err := os.OpenFile(*admitLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {

@@ -189,6 +189,10 @@ func main() {
 				st.Solves, st.Nodes, st.MaxNodes, st.Workers, st.LPIters, st.Phase1, st.WarmLPs, st.ColdLPs, st.Decomposed, st.Components)
 			fmt.Printf("presolve: vars-fixed=%d rows-dropped=%d cliques-merged=%d rounds=%d time=%v\n",
 				st.PresolveFixed, st.PresolveRows, st.PresolveCliques, st.PresolveRounds, st.PresolveTime.Round(time.Microsecond))
+			fmt.Printf("basis: factorizations=%d eta-updates=%d dense-fallbacks=%d\n",
+				st.Factorizations, st.EtaUpdates, st.DenseFallbacks)
+			fmt.Printf("cuts: rounds=%d cover=%d clique=%d  branching: pseudocost=%d fractional=%d\n",
+				st.CutRounds, st.CoverCuts, st.CliqueCuts, st.PseudocostBranches, st.FractionalBranches)
 			fmt.Printf("reuse: hits=%d misses=%d hit-rate=%.1f%%\n",
 				st.ReuseHits, st.ReuseMisses, 100*st.ReuseHitRate())
 			if sh := cs.ShardStatsSnapshot(); sh.Shards > 0 {

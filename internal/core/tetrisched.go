@@ -74,6 +74,13 @@ type Config struct {
 	// compiled. A bisection switch like DisableWarmStart — placements are
 	// policy-identical either way, only slower (docs/SOLVER.md).
 	DisablePresolve bool
+	// DenseBasis makes every LP scratch use the historical dense basis
+	// inverse instead of the sparse LU factorization with Forrest–Tomlin
+	// updates (internal/milp/lu.go). A bisection switch in the
+	// DisableWarmStart/DisablePresolve mold — the engines represent the same
+	// basis exactly, so placements are policy-identical either way, only
+	// slower at scale (docs/SOLVER.md).
+	DenseBasis bool
 	// DisableIncremental turns off cross-cycle component reuse: every cycle
 	// compiles and solves from scratch, the pre-PR-6 behavior. Reuse replays
 	// a cached sub-solution only when a fingerprint proves the component's
@@ -181,6 +188,20 @@ type SolveStats struct {
 	PresolveCliques int           // choose-≤-1 rows merged by clique domination
 	PresolveRounds  int           // fixpoint rounds run
 	PresolveTime    time.Duration // cumulative presolve wall-clock
+
+	// Basis-factorization telemetry (internal/milp/lu.go, basis.go).
+	Factorizations int64 // sparse LU (or dense fallback) basis factorizations
+	EtaUpdates     int64 // Forrest–Tomlin eta updates applied between refactorizations
+	DenseFallbacks int   // scratches that abandoned LU for the dense inverse
+
+	// Root cutting-plane telemetry (internal/milp/cuts.go).
+	CutRounds  int // root separation rounds that tightened a relaxation
+	CoverCuts  int // knapsack cover cuts added
+	CliqueCuts int // conflict clique cuts added
+
+	// Branching-rule telemetry (internal/milp/pseudocost.go).
+	PseudocostBranches int64 // branch decisions taken by learned pseudocosts
+	FractionalBranches int64 // branch decisions by the most-fractional fallback
 }
 
 // WarmHitRate returns the fraction of node LPs served warm from a parent
@@ -239,6 +260,14 @@ func (st *SolveStats) record(sol *milp.Solution, warmSeeds int, d time.Duration)
 	st.PresolveCliques += sol.Presolve.CliquesMerged
 	st.PresolveRounds += sol.Presolve.Rounds
 	st.PresolveTime += sol.Presolve.Duration
+	st.Factorizations += sol.LP.Factorizations
+	st.EtaUpdates += sol.LP.EtaUpdates
+	st.DenseFallbacks += sol.LP.DenseFallbacks
+	st.CutRounds += sol.Cuts.Rounds
+	st.CoverCuts += sol.Cuts.Cover
+	st.CliqueCuts += sol.Cuts.Clique
+	st.PseudocostBranches += sol.Branch.Pseudocost
+	st.FractionalBranches += sol.Branch.Fractional
 }
 
 // runInfo tracks the scheduler's belief about a running job.
@@ -589,6 +618,7 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 		Deterministic:    true,
 		DisableWarmStart: s.cfg.DisableWarmStart,
 		DisablePresolve:  s.cfg.DisablePresolve,
+		DenseBasis:       s.cfg.DenseBasis,
 	}
 	solveSpan := s.tr.Begin("solve", "solve")
 	t0 := time.Now()
@@ -996,6 +1026,7 @@ func (s *Scheduler) greedyCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 			Heuristic:        comp.GreedyRound,
 			DisableWarmStart: s.cfg.DisableWarmStart,
 			DisablePresolve:  s.cfg.DisablePresolve,
+			DenseBasis:       s.cfg.DenseBasis,
 		})
 		elapsed := time.Since(t0)
 		res.SolverLatency += elapsed

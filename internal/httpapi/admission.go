@@ -223,6 +223,51 @@ func (t *tenantState) configure(tc TenantConfig, cfg AdmissionConfig) {
 	}
 }
 
+// reconfigure applies a new tenant list to a live admission door. Unlike
+// construction it preserves accrued state: queued jobs, fair-queuing virtual
+// times, and token balances all survive — limits move, history does not.
+// Tenants dropped from the list fall back to the door defaults. Without the
+// balance carry-over a reload would hand every rated tenant a fresh full
+// bucket, so a tenant could launder unlimited throughput through repeated
+// config reloads; and resetting vt would let it replay bursts the fair
+// dequeue already charged it for.
+func (a *admission) reconfigure(tenants []TenantConfig) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.cfg.Tenants = tenants
+	listed := make(map[string]bool, len(tenants))
+	for _, tc := range tenants {
+		name := tc.Name
+		if name == "" {
+			name = DefaultTenant
+		}
+		listed[name] = true
+		a.tenant(name).reconfigure(tc, a.cfg)
+	}
+	for name, ts := range a.tenants {
+		if !listed[name] {
+			ts.weight = a.cfg.DefaultWeight
+			ts.quota = a.cfg.DefaultQuota
+			ts.rate = 0
+		}
+	}
+}
+
+// reconfigure is configure for a tenant that already has history: the new
+// limits apply, but a still-rated tenant keeps its spent token balance
+// (clamped to the new burst cap) and refill anchor instead of starting a
+// fresh full bucket. vt is untouched — the reactivation clamp in tryEnqueue
+// already prevents idle credit banking, reload or not.
+func (t *tenantState) reconfigure(tc TenantConfig, cfg AdmissionConfig) {
+	hadRate := t.rate > 0
+	tokens, lastFill := t.tokens, t.lastFill
+	t.configure(tc, cfg)
+	if t.rate > 0 && hadRate {
+		t.tokens = math.Min(tokens, t.burstCap)
+		t.lastFill = lastFill
+	}
+}
+
 // refill credits the token bucket for the time elapsed since the last refill.
 // The first call after configuration only anchors the clock — the bucket was
 // created full.
@@ -435,6 +480,23 @@ func (a *admission) retryAfterSeconds() int {
 		s = 1
 	}
 	return s
+}
+
+// advisoryRetry resolves one rejection's Retry-After seconds: the outcome's
+// deficit-sized override when present, else the configured default — always
+// clamped to ≥ 1. Every 429 writer goes through here: an advisory of 0 tells
+// clients to retry immediately, which under overload synchronizes the whole
+// fleet into a retry stampede at exactly the moment the queue can least
+// absorb one.
+func (a *admission) advisoryRetry(out enqueueOutcome) int {
+	retry := a.retryAfterSeconds()
+	if out.retryAfter > 0 {
+		retry = out.retryAfter
+	}
+	if retry < 1 {
+		retry = 1
+	}
+	return retry
 }
 
 // TenantStatusMsg is one tenant's admission accounting in /v1/status.

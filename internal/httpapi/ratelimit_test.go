@@ -3,6 +3,7 @@ package httpapi
 import (
 	"encoding/json"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -229,5 +230,105 @@ func TestTenantRateLimitStreamVerdicts(t *testing.T) {
 	}
 	if verdicts[2].Status != "accepted" {
 		t.Errorf("line 2 = %+v, want accepted (tenant b has no bucket)", verdicts[2])
+	}
+}
+
+// TestRetryAfterFloorAllPaths pins the Retry-After floor: every 429 path —
+// queue_full, tenant_quota, tenant_rate, and the NDJSON per-line verdicts —
+// must advise at least 1 second even when the configured advisory is
+// sub-second and the rate deficit rounds to zero. Retry-After: 0 invites an
+// immediate synchronized retry stampede, the opposite of backpressure.
+func TestRetryAfterFloorAllPaths(t *testing.T) {
+	_, ts, _ := rateDoor(t, AdmissionConfig{
+		MaxQueue:   3,
+		RetryAfter: 50 * time.Millisecond, // sub-second: must still clamp to 1
+		Tenants: []TenantConfig{
+			{Name: "q", Quota: 1},
+			// 1000 tokens/s: a 1-token deficit refills in 1ms; the advisory
+			// must still round up to a whole second, never down to 0.
+			{Name: "r", Quota: -1, Rate: 1000, RateBurst: 1},
+		},
+	})
+	assert429Floor := func(label string, status int, header string, retryAfter int) {
+		t.Helper()
+		if status != 429 {
+			t.Fatalf("%s: status = %d, want 429", label, status)
+		}
+		if header == "" || header == "0" {
+			t.Errorf("%s: Retry-After header = %q, want ≥ 1", label, header)
+		}
+		if retryAfter < 1 {
+			t.Errorf("%s: retry_after_seconds = %d, want ≥ 1", label, retryAfter)
+		}
+	}
+	decode := func(resp *http.Response) (string, int) {
+		t.Helper()
+		defer resp.Body.Close()
+		var body struct {
+			Error      string `json:"error"`
+			RetryAfter int    `json:"retry_after_seconds"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Error, body.RetryAfter
+	}
+
+	// tenant_rate: burst of 1 spent, deficit refills in 1ms.
+	if resp := postSubmit(t, ts.URL, batchBody("r", 0, 1)); resp.StatusCode != 202 {
+		t.Fatalf("burst spend = %d, want 202", resp.StatusCode)
+	}
+	resp := postSubmit(t, ts.URL, batchBody("r", 1, 1))
+	reason, retry := decode(resp)
+	assert429Floor("rate", resp.StatusCode, resp.Header.Get("Retry-After"), retry)
+	if reason != "tenant_rate" {
+		t.Errorf("rate rejection reason = %q", reason)
+	}
+
+	// tenant_quota: quota 1 with one job queued.
+	if resp := postSubmit(t, ts.URL, batchBody("q", 10, 1)); resp.StatusCode != 202 {
+		t.Fatalf("quota fill = %d, want 202", resp.StatusCode)
+	}
+	resp = postSubmit(t, ts.URL, batchBody("q", 11, 1))
+	reason, retry = decode(resp)
+	assert429Floor("quota", resp.StatusCode, resp.Header.Get("Retry-After"), retry)
+	if reason != "tenant_quota" {
+		t.Errorf("quota rejection reason = %q", reason)
+	}
+
+	// queue_full: 2 of 3 slots hold the jobs admitted above; one more fills
+	// the queue and the next submission overflows.
+	resp = postSubmit(t, ts.URL, batchBody("other", 20, 1))
+	if resp.StatusCode != 202 {
+		t.Fatalf("fill to capacity = %d, want 202", resp.StatusCode)
+	}
+	resp = postSubmit(t, ts.URL, batchBody("other", 30, 1))
+	reason, retry = decode(resp)
+	assert429Floor("full", resp.StatusCode, resp.Header.Get("Retry-After"), retry)
+	if reason != "queue_full" {
+		t.Errorf("full rejection reason = %q", reason)
+	}
+
+	// NDJSON: a rejected line's verdict carries the same floor.
+	line := `{"id":40,"tenant":"r","class":"BE","type":"Unconstrained","k":1,"base_runtime":10,"slowdown":1}` + "\n"
+	sresp, err := ts.Client().Post(ts.URL+"/v1/submit", "application/x-ndjson", strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	buf, _ := io.ReadAll(sresp.Body)
+	var v struct {
+		Status     string `json:"status"`
+		Reason     string `json:"reason"`
+		RetryAfter int    `json:"retry_after_seconds"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(string(buf))), &v); err != nil {
+		t.Fatalf("bad verdict %q: %v", buf, err)
+	}
+	if v.Status != "rejected" {
+		t.Fatalf("stream verdict = %+v, want rejected (queue full)", v)
+	}
+	if v.RetryAfter < 1 {
+		t.Errorf("stream retry_after_seconds = %d, want ≥ 1", v.RetryAfter)
 	}
 }

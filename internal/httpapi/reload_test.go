@@ -1,0 +1,154 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// reloadDoor is rateDoor with the Server handle exposed so tests can drive
+// ReconfigureTenants mid-run.
+func reloadDoor(t *testing.T, cfg AdmissionConfig) (*fakeSched, *Server, *httptest.Server, func(d time.Duration)) {
+	t.Helper()
+	f := newFakeSched()
+	srv := NewServer(f, 16).SetAdmission(cfg)
+	clock := time.Unix(1000, 0)
+	srv.adm.now = func() time.Time { return clock }
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return f, srv, ts, func(d time.Duration) { clock = clock.Add(d) }
+}
+
+// TestReloadPreservesTokenBalance pins the reload/rate-limit interaction: a
+// tenant that spent its burst must NOT get a fresh full bucket from a config
+// reload — otherwise repeated reloads launder unlimited throughput past the
+// rate limit. Refill must keep accruing against the original anchor, and a
+// tightened burst cap must clamp an over-cap balance down.
+func TestReloadPreservesTokenBalance(t *testing.T) {
+	cfg := []TenantConfig{{Name: "a", Quota: -1, Rate: 1, RateBurst: 4}}
+	_, srv, ts, advance := reloadDoor(t, AdmissionConfig{Tenants: cfg})
+
+	if resp := postSubmit(t, ts.URL, batchBody("a", 0, 4)); resp.StatusCode != 202 {
+		t.Fatalf("burst spend = %d, want 202", resp.StatusCode)
+	}
+	// The exploit: reload the same config, then retry immediately.
+	srv.ReconfigureTenants(cfg)
+	if resp := postSubmit(t, ts.URL, batchBody("a", 10, 1)); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("post-reload submit = %d, want 429 (reload must not refill the bucket)", resp.StatusCode)
+	}
+	// Refill still works against the pre-reload anchor: 2s at 1/s = 2 tokens.
+	advance(2 * time.Second)
+	if resp := postSubmit(t, ts.URL, batchBody("a", 20, 2)); resp.StatusCode != 202 {
+		t.Fatalf("post-refill submit = %d, want 202", resp.StatusCode)
+	}
+	// A reload that tightens the cap clamps a larger balance down.
+	advance(time.Hour) // bucket back to its 4-token cap
+	srv.ReconfigureTenants([]TenantConfig{{Name: "a", Quota: -1, Rate: 1, RateBurst: 2}})
+	if resp := postSubmit(t, ts.URL, batchBody("a", 30, 3)); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-new-cap submit = %d, want 429 (balance must clamp to the new burst)", resp.StatusCode)
+	}
+	if resp := postSubmit(t, ts.URL, batchBody("a", 40, 2)); resp.StatusCode != 202 {
+		t.Fatalf("at-new-cap submit = %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestReloadWeightedFairnessMidRun reloads tenant weights mid-run and checks
+// the weighted-fair dequeue tracks the new ratio for jobs drained after the
+// reload — with virtual times carried over, not reset.
+func TestReloadWeightedFairnessMidRun(t *testing.T) {
+	f, srv, ts, _ := reloadDoor(t, AdmissionConfig{
+		MaxQueue: 65536, // roomy: both tenants stay saturated all 40 rounds
+		Burst:    64,
+		Tenants: []TenantConfig{
+			{Name: "a", Weight: 1, Quota: -1},
+			{Name: "b", Weight: 1, Quota: -1},
+		},
+	})
+	id := 0
+	refill := func(tenant string, n int) {
+		if resp := postSubmit(t, ts.URL, batchBody(tenant, id, n)); resp.StatusCode != 202 {
+			t.Fatalf("refill %s = %d, want 202", tenant, resp.StatusCode)
+		}
+		id += n
+	}
+	round := int64(0)
+	cycles := func(n int) {
+		for i := 0; i < n; i++ {
+			refill("a", 128)
+			refill("b", 128)
+			postCycle(t, ts.URL, round)
+			round++
+		}
+	}
+
+	cycles(10)
+	a0, b0 := f.byTenant["a"], f.byTenant["b"]
+	if a0+b0 != 10*64 {
+		t.Fatalf("pre-reload drained %d, want %d", a0+b0, 10*64)
+	}
+	if diff := a0 - b0; diff > 32 || diff < -32 {
+		t.Fatalf("equal weights drained %d:%d, want ≈1:1", a0, b0)
+	}
+
+	srv.ReconfigureTenants([]TenantConfig{
+		{Name: "a", Weight: 3, Quota: -1},
+		{Name: "b", Weight: 1, Quota: -1},
+	})
+	cycles(30)
+	a1, b1 := f.byTenant["a"]-a0, f.byTenant["b"]-b0
+	if a1+b1 != 30*64 {
+		t.Fatalf("post-reload drained %d, want %d", a1+b1, 30*64)
+	}
+	ratio := float64(a1) / float64(b1)
+	if ratio < 2.6 || ratio > 3.4 {
+		t.Fatalf("post-reload share a:b = %d:%d (ratio %.2f), want ≈3:1", a1, b1, ratio)
+	}
+}
+
+// TestReloadIdleTenantCannotBankCredit pins the vt-floor clamp across a
+// reload: a tenant that sat idle while others drained (its virtual time far
+// behind the floor) must not monopolize the dequeue when it finally bursts
+// after a config reload — reactivation clamps it to the floor, so it only
+// gets its fair share going forward.
+func TestReloadIdleTenantCannotBankCredit(t *testing.T) {
+	f, srv, ts, _ := reloadDoor(t, AdmissionConfig{
+		MaxQueue: 4096,
+		Burst:    60,
+		Tenants: []TenantConfig{
+			{Name: "a", Weight: 1, Quota: -1},
+			{Name: "b", Weight: 1, Quota: -1},
+			{Name: "idle", Weight: 1, Quota: -1},
+		},
+	})
+	id := 0
+	refill := func(tenant string, n int) {
+		if resp := postSubmit(t, ts.URL, batchBody(tenant, id, n)); resp.StatusCode != 202 {
+			t.Fatalf("refill %s = %d, want 202", tenant, resp.StatusCode)
+		}
+		id += n
+	}
+	// 20 rounds with idle absent: a and b advance the vt floor far past 0.
+	for round := 0; round < 20; round++ {
+		refill("a", 100)
+		refill("b", 100)
+		postCycle(t, ts.URL, int64(round))
+	}
+	// Reload (same config — the reload itself must not reset anyone's vt),
+	// then the idle tenant bursts.
+	srv.ReconfigureTenants([]TenantConfig{
+		{Name: "a", Weight: 1, Quota: -1},
+		{Name: "b", Weight: 1, Quota: -1},
+		{Name: "idle", Weight: 1, Quota: -1},
+	})
+	refill("a", 100)
+	refill("b", 100)
+	refill("idle", 100)
+	postCycle(t, ts.URL, 100)
+	got := f.byTenant["idle"]
+	// Fair share of one 60-job drain across three equal tenants is 20. Banked
+	// credit would hand the idle tenant the whole burst.
+	if got < 10 || got > 30 {
+		t.Fatalf("idle tenant drained %d of 60, want ≈20 (fair share, no banked credit)", got)
+	}
+}

@@ -143,6 +143,14 @@ type SolverStatusMsg struct {
 	PresolveCliques int     `json:"presolve_cliques_merged"`
 	PresolveRounds  int     `json:"presolve_rounds"`
 	PresolveMillis  float64 `json:"presolve_millis"`
+	Factorizations  int64   `json:"lp_factorizations"`
+	EtaUpdates      int64   `json:"lp_eta_updates"`
+	DenseFallbacks  int     `json:"lp_dense_fallbacks"`
+	CutRounds       int     `json:"cut_rounds"`
+	CoverCuts       int     `json:"cover_cuts"`
+	CliqueCuts      int     `json:"clique_cuts"`
+	PCBranches      int64   `json:"pseudocost_branches"`
+	FracBranches    int64   `json:"fractional_branches"`
 }
 
 // ShardStatusMsg is the sharded control-plane telemetry block of a status
@@ -261,6 +269,14 @@ func NewServer(sched sim.Scheduler, universe int) *Server {
 func (s *Server) SetAdmission(cfg AdmissionConfig) *Server {
 	s.adm = newAdmission(cfg)
 	return s
+}
+
+// ReconfigureTenants applies a new per-tenant admission configuration
+// (weights, quotas, rate limits) to the live front door without resetting
+// queued jobs, fair-share virtual times, or token balances. Safe to call
+// while serving; tetrischedd wires it to SIGHUP for -tenants reloads.
+func (s *Server) ReconfigureTenants(tenants []TenantConfig) {
+	s.adm.reconfigure(tenants)
 }
 
 // SetAdmissionLog streams one NDJSON record per admission verdict (batch
@@ -508,6 +524,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			PresolveCliques: st.PresolveCliques,
 			PresolveRounds:  st.PresolveRounds,
 			PresolveMillis:  ms(st.PresolveTime),
+			Factorizations:  st.Factorizations,
+			EtaUpdates:      st.EtaUpdates,
+			DenseFallbacks:  st.DenseFallbacks,
+			CutRounds:       st.CutRounds,
+			CoverCuts:       st.CoverCuts,
+			CliqueCuts:      st.CliqueCuts,
+			PCBranches:      st.PseudocostBranches,
+			FracBranches:    st.FractionalBranches,
 		}
 	}
 	if src, ok := s.sched.(shardStatsSource); ok {
@@ -596,6 +620,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		const psSec = "tetrisched_solver_presolve_seconds_total"
 		fmt.Fprintf(&b, "# HELP %s Cumulative presolve wall-clock.\n# TYPE %s counter\n%s %g\n",
 			psSec, psSec, psSec, st.PresolveTime.Seconds())
+		counter("tetrisched_solver_lp_factorizations_total", "Basis factorizations (sparse LU or dense fallback).", uint64(st.Factorizations))
+		counter("tetrisched_solver_lp_eta_updates_total", "Forrest-Tomlin eta updates applied between refactorizations.", uint64(st.EtaUpdates))
+		counter("tetrisched_solver_lp_dense_fallbacks_total", "LP scratches that abandoned sparse LU for the dense inverse.", uint64(st.DenseFallbacks))
+		counter("tetrisched_solver_cut_rounds_total", "Root cutting-plane separation rounds that tightened a relaxation.", uint64(st.CutRounds))
+		counter("tetrisched_solver_cover_cuts_total", "Knapsack cover cuts added at root nodes.", uint64(st.CoverCuts))
+		counter("tetrisched_solver_clique_cuts_total", "Conflict clique cuts added at root nodes.", uint64(st.CliqueCuts))
+		counter("tetrisched_solver_pseudocost_branches_total", "Branch decisions taken by learned pseudocosts.", uint64(st.PseudocostBranches))
+		counter("tetrisched_solver_fractional_branches_total", "Branch decisions by the most-fractional fallback.", uint64(st.FractionalBranches))
 	}
 
 	if src, ok := s.sched.(shardStatsSource); ok {

@@ -179,10 +179,7 @@ func (s *Server) submitBatch(w http.ResponseWriter, r *http.Request, t0 time.Tim
 // echoing the advisory backoff. A rate rejection carries a Retry-After sized
 // to the token-bucket deficit instead of the static default.
 func (s *Server) writeBackpressure(w http.ResponseWriter, sc *submitScratch, out enqueueOutcome) {
-	retry := s.adm.retryAfterSeconds()
-	if out.retryAfter > 0 {
-		retry = out.retryAfter
-	}
+	retry := s.adm.advisoryRetry(out)
 	sc.resp = append(sc.resp, `{"error":"`...)
 	sc.resp = append(sc.resp, out.reason.String()...)
 	if out.reason == rejectQuota || out.reason == rejectRate {
@@ -240,7 +237,6 @@ func (s *Server) submitStream(w http.ResponseWriter, r *http.Request) {
 	scan.Buffer(make([]byte, 64<<10), maxStreamLine)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
-	retry := s.adm.retryAfterSeconds()
 
 	var accepted, rejected, malformed int64
 	one := make([]*workload.Job, 1)
@@ -254,7 +250,7 @@ func (s *Server) submitStream(w http.ResponseWriter, r *http.Request) {
 		var msg JobMsg
 		var verdict string
 		var detail error
-		lineRetry := retry
+		lineRetry := 0
 		if err := json.Unmarshal(line, &msg); err != nil {
 			verdict, detail = "error", err
 		} else if j, err := msg.ToJob(); err != nil {
@@ -271,9 +267,7 @@ func (s *Server) submitStream(w http.ResponseWriter, r *http.Request) {
 				verdict, detail = "error", fmt.Errorf("duplicate job %d", j.ID)
 			default:
 				verdict, detail = "rejected", fmt.Errorf("%s", out.reason)
-				if out.retryAfter > 0 {
-					lineRetry = out.retryAfter
-				}
+				lineRetry = s.adm.advisoryRetry(out)
 			}
 		}
 		sc.resp = sc.resp[:0]

@@ -172,6 +172,8 @@ func mergeParts(parts []Part, sols []*Solution, fullVars int) *Solution {
 			merged.Nodes += sol.Nodes
 			merged.LP.add(&sol.LP)
 			merged.Presolve.add(&sol.Presolve)
+			merged.Cuts.add(&sol.Cuts)
+			merged.Branch.add(&sol.Branch)
 			merged.Runtime += sol.Runtime
 			if sol.Workers > merged.Workers {
 				merged.Workers = sol.Workers

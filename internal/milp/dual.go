@@ -119,7 +119,7 @@ func (s *simplexState) dualIterate(lb, ub []float64) (lpStatus, error) {
 	// phase signals numerical trouble and is cheaper to restart cold.
 	budget := 6*m + 300
 	taken := 0
-	refactorCountdown := 120
+	refactorCountdown := refactorInterval
 	dualBland := false
 	stall := 0
 	for {
@@ -135,34 +135,47 @@ func (s *simplexState) dualIterate(lb, ub []float64) (lpStatus, error) {
 		s.iter++
 		taken++
 		s.stats.Iterations++
-		if refactorCountdown--; refactorCountdown <= 0 {
+		if refactorCountdown--; refactorCountdown <= 0 || s.eng.needsRefactor() {
 			if err := s.refactorize(); err != nil {
 				return 0, err
 			}
 			s.computeDuals()
-			refactorCountdown = 120
+			s.resetDevex()
+			refactorCountdown = refactorInterval
 		}
-		// Leaving row: the most primal-infeasible basic variable (Bland
-		// mode: the lowest row with any violation).
+		// Leaving row: Devex-weighted primal infeasibility v²/δ_i, an
+		// approximate steepest-edge measure over the violated rows. Raw
+		// eligibility (violation beyond feasTol) is unchanged, so the pricer
+		// only reorders pivots among rows the plain rule could also pick
+		// (Bland mode: the lowest row with any violation).
 		leave := -1
-		worst := feasTol
+		bestScore := 0.0
 		below := false
 		for i := 0; i < m; i++ {
 			bj := s.basis[i]
-			if v := lb[bj] - s.x[bj]; v > worst {
-				worst, leave, below = v, i, true
-			} else if v := s.x[bj] - ub[bj]; v > worst {
-				worst, leave, below = v, i, false
+			var v float64
+			var under bool
+			if v = lb[bj] - s.x[bj]; v > feasTol {
+				under = true
+			} else if v = s.x[bj] - ub[bj]; v > feasTol {
+				under = false
+			} else {
+				continue
 			}
-			if dualBland && leave >= 0 {
+			if dualBland {
+				leave, below = i, under
 				break
+			}
+			if score := v * v / s.dwt[i]; score > bestScore {
+				bestScore, leave, below = score, i, under
 			}
 		}
 		if leave < 0 {
 			return lpOptimal, nil
 		}
 		out := s.basis[leave]
-		rho := s.binv[leave*m : leave*m+m]
+		rho := s.rho
+		s.eng.btranRow(leave, rho)
 		// Entering column via the bounded-variable dual ratio test. α_j is
 		// the pivot-row entry ρ·a_j; eligibility is by sign (moving x_j in
 		// its allowed direction must push x[out] back toward its bound), the
@@ -251,12 +264,42 @@ func (s *simplexState) dualIterate(lb, ub []float64) (lpStatus, error) {
 		}
 		s.basis[leave] = enter
 		s.status[enter] = inBasis
-		s.pivotUpdate(leave)
-		if enterD != 0 {
-			row := s.binv[leave*m : leave*m+m]
-			for k, v := range row {
-				y[k] += enterD * v
+		pivW := w[leave]
+		if !s.eng.update(leave, w) {
+			if err := s.refactorize(); err != nil {
+				return 0, err
 			}
+			s.computeDuals()
+			s.resetDevex()
+			refactorCountdown = refactorInterval
+		} else {
+			// Row leave of the new inverse is rho/pivot, so the rank-1 dual
+			// repair reuses the pivot row already in hand.
+			if enterD != 0 {
+				f := enterD / pivW
+				for k, v := range rho {
+					if v != 0 {
+						y[k] += f * v
+					}
+				}
+			}
+			// Dual Devex: the pivot column w prices every row's weight
+			// against the reference weight of the leaving row.
+			dr := s.dwt[leave] / (pivW * pivW)
+			for i := 0; i < m; i++ {
+				if i == leave {
+					continue
+				}
+				if wi := w[i]; wi != 0 {
+					if cand := wi * wi * dr; cand > s.dwt[i] {
+						s.dwt[i] = cand
+					}
+				}
+			}
+			if dr < 1 {
+				dr = 1
+			}
+			s.dwt[leave] = dr
 		}
 		// Degeneracy control: a zero dual step across a string of pivots is
 		// the cycling precondition; arm Bland's rule (lowest-index row and

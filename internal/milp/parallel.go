@@ -30,15 +30,14 @@ import (
 
 // nodeResult is the off-lock outcome of evaluating one branch-and-bound node.
 type nodeResult struct {
-	node      *bbNode
-	dead      bool        // infeasible, numerical trouble, or obj-pruned at solve time
-	obj       float64     // LP objective of the node relaxation
-	integral  bool        // relaxation solved integral
-	vals      []float64   // integral point (when integral)
-	cand      []float64   // heuristic candidate to consider (may be nil)
-	branch    int         // branching column (when !integral)
-	branchVal float64     // relaxation value of the branching column
-	snap      *basisState // node's optimal basis, shared by both children
+	node     *bbNode
+	dead     bool        // infeasible, numerical trouble, or obj-pruned at solve time
+	obj      float64     // LP objective of the node relaxation
+	integral bool        // relaxation solved integral
+	vals     []float64   // integral point (when integral)
+	cand     []float64   // heuristic candidate to consider (may be nil)
+	fracs    []fracVar   // fractional candidates (when !integral); branch selection
+	snap     *basisState // node's optimal basis, shared by both children
 }
 
 // evalNode solves one node's LP relaxation on the worker's scratch and
@@ -81,8 +80,10 @@ func (s *search) evalNode(node *bbNode, sc *simplexState, lbBuf, ubBuf []float64
 			r.cand = cand
 		}
 	}
-	r.branch = mostFractional(s.model, x)
-	r.branchVal = x[r.branch]
+	// Branch selection consults the shared pseudocost table, so it happens in
+	// the apply step (under the driver lock); only the fractional candidates
+	// are captured here, copied because x aliases the worker scratch.
+	r.fracs = gatherFractional(s.model, x, nil)
 	return r
 }
 
@@ -93,6 +94,7 @@ func (s *search) applyResult(r nodeResult) {
 	if r.dead {
 		return
 	}
+	s.noteBranchOutcome(r.node, r.obj)
 	// Re-check against the possibly-improved incumbent: another worker may
 	// have published a better one while this node's LP was solving.
 	if s.incumbent != nil && !s.better(r.obj, s.incObj) {
@@ -113,12 +115,8 @@ func (s *search) applyResult(r nodeResult) {
 			return // the candidate itself closed this subtree
 		}
 	}
-	down := append(append([]boundOverride(nil), r.node.overrides...),
-		boundOverride{col: r.branch, isUB: true, value: math.Floor(r.branchVal + intTol)})
-	up := append(append([]boundOverride(nil), r.node.overrides...),
-		boundOverride{col: r.branch, isUB: false, value: math.Ceil(r.branchVal - intTol)})
-	s.pushNode(&bbNode{bound: r.obj, depth: r.node.depth + 1, overrides: down, warm: r.snap})
-	s.pushNode(&bbNode{bound: r.obj, depth: r.node.depth + 1, overrides: up, warm: r.snap})
+	bv, v := s.selectBranch(r.fracs)
+	s.pushChildren(r.node, bv, v, r.obj, r.snap)
 }
 
 // runAsync is the free-running worker pool. Shared state (heap, incumbent,

@@ -48,6 +48,14 @@ type LPStats struct {
 	WarmFallbacks int
 	// ColdStarts counts LPs solved from scratch, including warm fallbacks.
 	ColdStarts int
+	// Factorizations counts basis refactorizations, sparse LU or dense.
+	Factorizations int64
+	// EtaUpdates counts product-form eta updates absorbed by the LU engine
+	// between refactorizations (always zero under Options.DenseBasis).
+	EtaUpdates int64
+	// DenseFallbacks counts scratches that abandoned the LU engine for the
+	// dense inverse after a numerically unstable factorization.
+	DenseFallbacks int
 }
 
 func (a *LPStats) add(b *LPStats) {
@@ -56,6 +64,9 @@ func (a *LPStats) add(b *LPStats) {
 	a.WarmHits += b.WarmHits
 	a.WarmFallbacks += b.WarmFallbacks
 	a.ColdStarts += b.ColdStarts
+	a.Factorizations += b.Factorizations
+	a.EtaUpdates += b.EtaUpdates
+	a.DenseFallbacks += b.DenseFallbacks
 }
 
 // lp is a linear program in computational standard form:
@@ -76,7 +87,8 @@ type lp struct {
 	c        []float64 // phase-2 objective (minimize)
 	lb       []float64
 	ub       []float64
-	nvars    int // structural variable count (prefix of columns)
+	nvars    int  // structural variable count (prefix of columns)
+	dense    bool // scratches use the dense basis engine (Options.DenseBasis)
 }
 
 // newLP converts a Model into computational standard form. Branch-and-bound
@@ -161,29 +173,39 @@ const (
 	inBasis
 )
 
+// refactorInterval is the pivot count between periodic refactorizations, the
+// drift-control backstop behind the engines' own fill/instability triggers.
+const refactorInterval = 120
+
 // simplexState is the reusable working state of the LP kernel: one per
 // branch-and-bound worker (plus one for the root), so the buffers — including
-// the m×m basis inverse — are allocated once per search, not once per node.
-// A state carries no result across solves (every solve re-initializes from
-// its bounds or snapshot), only buffers and accumulated LPStats, so reusing
-// one keeps repeated solves deterministic.
+// the basis engine's factors — are allocated once per search, not once per
+// node. A state carries no result across solves (every solve re-initializes
+// from its bounds or snapshot), only buffers and accumulated LPStats, so
+// reusing one keeps repeated solves deterministic.
 type simplexState struct {
 	p       *lp
+	eng     basisEngine
 	nTotal  int       // columns including phase-1 artificials
 	artCoef []float64 // phase-1 artificial column coefs (±1); nil outside phase 1
 	cost    []float64
 	basis   []int  // row -> column
 	status  []byte // column -> position
 	x       []float64
-	binv    []float64 // dense basis inverse, row-major, stride m
 	y       []float64 // duals, maintained incrementally across pivots
 	w       []float64 // FTRAN scratch
+	rho     []float64 // BTRAN pivot-row scratch
+	cb      []float64 // basic-cost gather scratch for computeDuals
 	ratios  []float64 // ratio-test scratch
 	rbuf    []float64 // residual scratch
 	cand    []int32   // pricing candidate list (multiple pricing)
 
-	refac     []float64   // refactorization workspace, m×2m flat
-	refacRows [][]float64 // row headers into refac, swapped while pivoting
+	// Devex reference weights: gamma prices nonbasic columns in the primal
+	// (score d²/γ), dwt weights row infeasibilities in the dual (score
+	// v²/δ). Both reset to the unit framework at phase entry and on every
+	// refactorization.
+	gamma []float64
+	dwt   []float64
 
 	lbFull, ubFull, costFull []float64 // phase-1 bound/cost buffers
 
@@ -195,20 +217,31 @@ type simplexState struct {
 	stats    LPStats
 }
 
-// newScratch allocates a reusable solver state for p.
+// newScratch allocates a reusable solver state for p. The basis engine is
+// sparse LU by default; p.dense (Options.DenseBasis) selects the dense
+// inverse.
 func newScratch(p *lp) *simplexState {
-	return &simplexState{
+	s := &simplexState{
 		p:      p,
 		basis:  make([]int, p.m),
 		status: make([]byte, p.n, p.n+p.m),
 		x:      make([]float64, p.n, p.n+p.m),
-		binv:   make([]float64, p.m*p.m),
 		y:      make([]float64, p.m),
 		w:      make([]float64, p.m),
+		rho:    make([]float64, p.m),
+		cb:     make([]float64, p.m),
 		ratios: make([]float64, p.m),
 		rbuf:   make([]float64, p.m),
 		cand:   make([]int32, 0, p.n),
+		gamma:  make([]float64, p.n+p.m),
+		dwt:    make([]float64, p.m),
 	}
+	if p.dense {
+		s.eng = newDenseBasis(p, &s.stats)
+	} else {
+		s.eng = newLUBasis(p, &s.stats)
+	}
+	return s
 }
 
 // begin resets per-solve state (buffers and stats survive).
@@ -226,6 +259,17 @@ func (s *simplexState) begin(maxIter int, deadline time.Time) {
 	s.cand = s.cand[:0] // bounds differ per solve; stale candidates mislead
 	s.status = s.status[:p.n]
 	s.x = s.x[:p.n]
+	s.resetDevex()
+}
+
+// resetDevex restores the unit reference framework for both Devex pricers.
+func (s *simplexState) resetDevex() {
+	for i := range s.gamma {
+		s.gamma[i] = 1
+	}
+	for i := range s.dwt {
+		s.dwt[i] = 1
+	}
 }
 
 // solveLP solves the LP under the given bound overrides on a fresh scratch.
@@ -280,13 +324,16 @@ func (s *simplexState) solve(lb, ub []float64, maxIter int, deadline time.Time) 
 		}
 	}
 	if feasibleStart {
-		s.clearBinv()
+		diag := s.w
+		for i := 0; i < p.m; i++ {
+			diag[i] = 1
+		}
+		s.eng.reset(diag)
 		for i := 0; i < p.m; i++ {
 			sj := p.nvars + i
 			s.basis[i] = sj
 			s.status[sj] = inBasis
 			s.x[sj] = resid[i]
-			s.binv[i*p.m+i] = 1
 		}
 		st, err := s.iterate(lb, ub, p.c)
 		if err != nil {
@@ -311,7 +358,6 @@ func (s *simplexState) solve(lb, ub []float64, maxIter int, deadline time.Time) 
 	s.artCoef = make([]float64, p.m)
 	s.x = s.x[:p.n+p.m]
 	s.status = s.status[:p.n+p.m]
-	s.clearBinv()
 	for i := 0; i < p.m; i++ {
 		aj := p.n + i
 		coef := 1.0
@@ -322,10 +368,10 @@ func (s *simplexState) solve(lb, ub []float64, maxIter int, deadline time.Time) 
 		lbFull[aj], ubFull[aj] = 0, Inf
 		costP1[aj] = 1
 		s.basis[i] = aj
-		s.binv[i*p.m+i] = coef // basis matrix diag(±1) is its own inverse
 		s.x[aj] = math.Abs(resid[i])
 		s.status[aj] = inBasis
 	}
+	s.eng.reset(s.artCoef) // basis matrix diag(±1) is its own inverse
 	s.nTotal = p.n + p.m
 	st, err := s.iterate(lbFull, ubFull, costP1)
 	if err != nil {
@@ -371,64 +417,20 @@ func clampVal(v, lo, hi float64) float64 {
 	return v
 }
 
-func (s *simplexState) clearBinv() {
-	b := s.binv
-	for i := range b {
-		b[i] = 0
-	}
-}
-
-// computeDuals recomputes y = cBᵀ·Binv from scratch. Pivots keep y current
-// with a rank-1 update; this full pass runs at phase entry and after every
-// refactorization to contain drift.
+// computeDuals recomputes y = cBᵀ·B⁻¹ from scratch with one BTRAN. Pivots
+// keep y current with a rank-1 update; this full pass runs at phase entry and
+// after every refactorization to contain drift.
 func (s *simplexState) computeDuals() {
-	m := s.p.m
-	y := s.y
-	for i := 0; i < m; i++ {
-		y[i] = 0
+	cb := s.cb
+	for i, bj := range s.basis {
+		cb[i] = s.cost[bj]
 	}
-	for r := 0; r < m; r++ {
-		cb := s.cost[s.basis[r]]
-		if cb == 0 {
-			continue
-		}
-		row := s.binv[r*m : r*m+m]
-		for i, v := range row {
-			y[i] += cb * v
-		}
-	}
+	s.eng.btranVec(cb, s.y)
 }
 
-// ftran computes w = Binv·a_enter into s.w, exploiting column sparsity: each
-// basis-inverse row is streamed once and only the column's nonzeros touched.
+// ftran computes w = B⁻¹·a_enter into s.w.
 func (s *simplexState) ftran(enter int) {
-	p := s.p
-	m := p.m
-	w := s.w
-	if enter >= p.n {
-		ar, ac := enter-p.n, s.artCoef[enter-p.n]
-		for i := 0; i < m; i++ {
-			w[i] = s.binv[i*m+ar] * ac
-		}
-		return
-	}
-	st0, en0 := p.colStart[enter], p.colStart[enter+1]
-	if en0-st0 == 1 {
-		r0, v0 := int(p.colRow[st0]), p.colVal[st0]
-		for i := 0; i < m; i++ {
-			w[i] = s.binv[i*m+r0] * v0
-		}
-		return
-	}
-	rows, vals := p.colRow[st0:en0], p.colVal[st0:en0]
-	for i := 0; i < m; i++ {
-		row := s.binv[i*m : i*m+m]
-		acc := 0.0
-		for k, r := range rows {
-			acc += row[r] * vals[k]
-		}
-		w[i] = acc
-	}
+	s.eng.ftranCol(enter, s.artCoef, s.w)
 }
 
 // iterate runs primal simplex iterations to optimality under the given
@@ -438,7 +440,7 @@ func (s *simplexState) iterate(lb, ub, cost []float64) (lpStatus, error) {
 	p := s.p
 	m := p.m
 	s.computeDuals()
-	refactorCountdown := 120
+	refactorCountdown := refactorInterval
 	for {
 		if s.iter >= s.maxIter {
 			return lpIterLimit, nil
@@ -448,18 +450,22 @@ func (s *simplexState) iterate(lb, ub, cost []float64) (lpStatus, error) {
 		}
 		s.iter++
 		s.stats.Iterations++
-		if refactorCountdown--; refactorCountdown <= 0 {
+		if refactorCountdown--; refactorCountdown <= 0 || s.eng.needsRefactor() {
 			if err := s.refactorize(); err != nil {
 				return lpIterLimit, err
 			}
 			s.computeDuals()
-			refactorCountdown = 120
+			s.resetDevex()
+			refactorCountdown = refactorInterval
 		}
-		// Pricing: Dantzig rule over a candidate list (multiple pricing) —
+		// Pricing: Devex over a candidate list (multiple pricing) —
 		// attractive columns found by the last full scan are re-priced first,
 		// and a full scan runs only when the list runs dry. Optimality is
 		// declared exclusively by an empty full scan, so the shortcut cannot
-		// terminate early. Bland's rule and phase 1 always scan in full.
+		// terminate early. Each eligible column scores d²/γ with its Devex
+		// reference weight γ — an approximate steepest-edge measure that
+		// favors pivots making real progress over merely steep reduced
+		// costs. Bland's rule and phase 1 always scan in full.
 		enter, dir := -1, 1.0
 		var enterD float64
 		best := 0.0
@@ -477,19 +483,20 @@ func (s *simplexState) iterate(lb, ub, cost []float64) (lpStatus, error) {
 				for k := p.colStart[j]; k < p.colStart[j+1]; k++ {
 					d -= y[p.colRow[k]] * p.colVal[k]
 				}
-				var score, dj float64
+				var dj float64
+				eligible := false
 				switch st {
 				case atLower:
 					if d < -optTol {
-						score, dj = -d, 1
+						eligible, dj = true, 1
 					}
 				case atUpper:
 					if d > optTol {
-						score, dj = d, -1
+						eligible, dj = true, -1
 					}
 				case atFree:
 					if math.Abs(d) > optTol {
-						score = math.Abs(d)
+						eligible = true
 						if d > 0 {
 							dj = -1
 						} else {
@@ -497,9 +504,9 @@ func (s *simplexState) iterate(lb, ub, cost []float64) (lpStatus, error) {
 						}
 					}
 				}
-				if score > 0 {
+				if eligible {
 					keep = append(keep, j32)
-					if score > best {
+					if score := d * d / s.gamma[j]; score > best {
 						best, enter, dir, enterD = score, j, dj, d
 					}
 				}
@@ -519,19 +526,20 @@ func (s *simplexState) iterate(lb, ub, cost []float64) (lpStatus, error) {
 				for k := p.colStart[j]; k < p.colStart[j+1]; k++ {
 					d -= y[p.colRow[k]] * p.colVal[k]
 				}
-				var score, dj float64
+				var dj float64
+				eligible := false
 				switch st {
 				case atLower:
 					if d < -optTol {
-						score, dj = -d, 1
+						eligible, dj = true, 1
 					}
 				case atUpper:
 					if d > optTol {
-						score, dj = d, -1
+						eligible, dj = true, -1
 					}
 				case atFree:
 					if math.Abs(d) > optTol {
-						score = math.Abs(d)
+						eligible = true
 						if d > 0 {
 							dj = -1
 						} else {
@@ -539,7 +547,7 @@ func (s *simplexState) iterate(lb, ub, cost []float64) (lpStatus, error) {
 						}
 					}
 				}
-				if score > 0 {
+				if eligible {
 					if s.bland {
 						enter, dir, enterD = j, dj, d
 						break
@@ -547,7 +555,7 @@ func (s *simplexState) iterate(lb, ub, cost []float64) (lpStatus, error) {
 					if useCand {
 						s.cand = append(s.cand, int32(j))
 					}
-					if score > best {
+					if score := d * d / s.gamma[j]; score > best {
 						best, enter, dir, enterD = score, j, dj, d
 					}
 				}
@@ -564,19 +572,20 @@ func (s *simplexState) iterate(lb, ub, cost []float64) (lpStatus, error) {
 				}
 				ai := j - p.n
 				d := cost[j] - y[ai]*s.artCoef[ai]
-				var score, dj float64
+				var dj float64
+				eligible := false
 				switch st {
 				case atLower:
 					if d < -optTol {
-						score, dj = -d, 1
+						eligible, dj = true, 1
 					}
 				case atUpper:
 					if d > optTol {
-						score, dj = d, -1
+						eligible, dj = true, -1
 					}
 				case atFree:
 					if math.Abs(d) > optTol {
-						score = math.Abs(d)
+						eligible = true
 						if d > 0 {
 							dj = -1
 						} else {
@@ -584,12 +593,12 @@ func (s *simplexState) iterate(lb, ub, cost []float64) (lpStatus, error) {
 						}
 					}
 				}
-				if score > 0 {
+				if eligible {
 					if s.bland {
 						enter, dir, enterD = j, dj, d
 						break
 					}
-					if score > best {
+					if score := d * d / s.gamma[j]; score > best {
 						best, enter, dir, enterD = score, j, dj, d
 					}
 				}
@@ -598,7 +607,7 @@ func (s *simplexState) iterate(lb, ub, cost []float64) (lpStatus, error) {
 		if enter < 0 {
 			return lpOptimal, nil
 		}
-		// Pivot column w = Binv·a_enter.
+		// Pivot column w = B⁻¹·a_enter.
 		s.ftran(enter)
 		w := s.w
 		// Ratio test, pass 1: the smallest blocking step.
@@ -682,23 +691,76 @@ func (s *simplexState) iterate(lb, ub, cost []float64) (lpStatus, error) {
 		}
 		s.basis[leave] = enter
 		s.status[enter] = inBasis
-		s.pivotUpdate(leave)
-		// Duals follow the basis by a rank-1 update: after the pivot the new
-		// row r of Binv is ρ_old/piv, and y' = y + d_enter·(new row r). This
-		// replaces the O(m²) BTRAN the loop head would otherwise need.
-		if enterD != 0 {
-			row := s.binv[leave*m : leave*m+m]
-			for k, v := range row {
-				y[k] += enterD * v
+		pivW := w[leave]
+		// rho = e_leaveᵀ·B_old⁻¹ feeds both the rank-1 dual update (row
+		// leave of the new inverse is rho/pivot) and the Devex weight
+		// updates, so it is taken before the engine absorbs the pivot.
+		s.eng.btranRow(leave, s.rho)
+		if !s.eng.update(leave, w) {
+			// The engine refused the pivot (tiny pivot or spent budget):
+			// refactorize from the updated basis instead.
+			if err := s.refactorize(); err != nil {
+				return lpIterLimit, err
 			}
+			s.computeDuals()
+			s.resetDevex()
+			refactorCountdown = refactorInterval
+		} else {
+			if enterD != 0 {
+				f := enterD / pivW
+				for k, v := range s.rho {
+					if v != 0 {
+						y[k] += f * v
+					}
+				}
+			}
+			s.devexPrimalUpdate(enter, out, pivW)
 		}
 		s.noteProgress(tLim, best)
 	}
 }
 
+// devexPrimalUpdate refreshes the primal Devex reference weights after a
+// pivot with entering column q and pivot element pivW, using the pre-pivot
+// row rho still in s.rho. Updates are restricted to the candidate list (the
+// only columns the pricer will score before the next full scan) plus the
+// leaving variable, which re-enters the nonbasic set with the pivot-scaled
+// reference weight.
+func (s *simplexState) devexPrimalUpdate(enter, out int, pivW float64) {
+	p := s.p
+	gq := s.gamma[enter]
+	r2 := pivW * pivW
+	gOut := gq / r2
+	if gOut < 1 {
+		gOut = 1
+	}
+	s.gamma[out] = gOut
+	if len(s.cand) == 0 {
+		return
+	}
+	rho := s.rho
+	scale := gq / r2
+	for _, j32 := range s.cand {
+		j := int(j32)
+		if s.status[j] == inBasis {
+			continue
+		}
+		alpha := 0.0
+		for k := p.colStart[j]; k < p.colStart[j+1]; k++ {
+			alpha += rho[p.colRow[k]] * p.colVal[k]
+		}
+		if alpha == 0 {
+			continue
+		}
+		if cand := alpha * alpha * scale; cand > s.gamma[j] {
+			s.gamma[j] = cand
+		}
+	}
+}
+
 // noteProgress tracks degenerate stalls and arms Bland's anti-cycling rule.
-func (s *simplexState) noteProgress(step, reducedCost float64) {
-	if step*reducedCost > 1e-12 {
+func (s *simplexState) noteProgress(step, score float64) {
+	if step*score > 1e-12 {
 		s.stall = 0
 		s.bland = false
 		return
@@ -709,90 +771,25 @@ func (s *simplexState) noteProgress(step, reducedCost float64) {
 	}
 }
 
-// pivotUpdate applies the product-form basis-inverse update for a pivot in
-// row r, where s.w holds Binv·a_enter. Rows with a negligible multiplier are
-// skipped entirely, so the cost scales with the fill of the pivot column.
-func (s *simplexState) pivotUpdate(r int) {
-	m := s.p.m
-	rowR := s.binv[r*m : r*m+m]
-	inv := 1 / s.w[r]
-	for k := range rowR {
-		rowR[k] *= inv
-	}
-	for i := 0; i < m; i++ {
-		if i == r {
-			continue
-		}
-		f := s.w[i]
-		if f < 1e-13 && f > -1e-13 {
-			continue
-		}
-		rowI := s.binv[i*m : i*m+m]
-		for k := range rowI {
-			rowI[k] -= f * rowR[k]
-		}
-	}
-}
-
-// refactorize recomputes the basis inverse from scratch (Gauss-Jordan with
-// partial pivoting) and refreshes basic variable values, containing drift
-// from repeated product-form updates. The workspace is owned by the scratch
-// and reused across calls; row swaps exchange headers, not data.
+// refactorize rebuilds the basis representation from the column data and
+// refreshes basic variable values, containing drift from repeated
+// product-form updates. If the LU engine rejects the basis as numerically
+// unstable (element growth past its budget), the scratch permanently swaps
+// in the dense engine — the kill-switch path in reverse — and counts the
+// fallback.
 func (s *simplexState) refactorize() error {
+	if err := s.eng.factor(s.basis, s.artCoef); err != nil {
+		if err != errUnstableFactor {
+			return err
+		}
+		s.eng = newDenseBasis(s.p, &s.stats)
+		s.stats.DenseFallbacks++
+		if err := s.eng.factor(s.basis, s.artCoef); err != nil {
+			return err
+		}
+	}
+	// Refresh basic values: xB = B⁻¹·(b − N·xN).
 	p := s.p
-	m := p.m
-	w2 := 2 * m
-	if s.refac == nil {
-		s.refac = make([]float64, m*w2)
-		s.refacRows = make([][]float64, m)
-	}
-	a := s.refacRows
-	for i := 0; i < m; i++ {
-		row := s.refac[i*w2 : i*w2+w2]
-		for k := range row {
-			row[k] = 0
-		}
-		row[m+i] = 1
-		a[i] = row
-	}
-	for r, j := range s.basis {
-		if j < p.n {
-			for k := p.colStart[j]; k < p.colStart[j+1]; k++ {
-				a[p.colRow[k]][r] = p.colVal[k]
-			}
-		} else {
-			a[j-p.n][r] = s.artCoef[j-p.n]
-		}
-	}
-	for col := 0; col < m; col++ {
-		piv := col
-		for i := col + 1; i < m; i++ {
-			if math.Abs(a[i][col]) > math.Abs(a[piv][col]) {
-				piv = i
-			}
-		}
-		if math.Abs(a[piv][col]) < 1e-12 {
-			return errSingularBasis
-		}
-		a[col], a[piv] = a[piv], a[col]
-		inv := 1 / a[col][col]
-		for k := col; k < w2; k++ {
-			a[col][k] *= inv
-		}
-		for i := 0; i < m; i++ {
-			if i == col || a[i][col] == 0 {
-				continue
-			}
-			f := a[i][col]
-			for k := col; k < w2; k++ {
-				a[i][k] -= f * a[col][k]
-			}
-		}
-	}
-	for i := 0; i < m; i++ {
-		copy(s.binv[i*m:i*m+m], a[i][m:])
-	}
-	// Refresh basic values: xB = Binv·(b − N·xN).
 	resid := s.rbuf
 	copy(resid, p.b)
 	for j := 0; j < s.nTotal; j++ {
@@ -811,13 +808,9 @@ func (s *simplexState) refactorize() error {
 			resid[j-p.n] -= s.artCoef[j-p.n] * xj
 		}
 	}
-	for i := 0; i < m; i++ {
-		row := s.binv[i*m : i*m+m]
-		v := 0.0
-		for k, rv := range resid {
-			v += row[k] * rv
-		}
-		s.x[s.basis[i]] = v
+	s.eng.ftranVec(resid, s.w)
+	for i, bj := range s.basis {
+		s.x[bj] = s.w[i]
 	}
 	return nil
 }

@@ -96,6 +96,19 @@ type Options struct {
 	// 0 uses DefaultSerialCutoff; negative disables the routing so Workers
 	// is always honored.
 	SerialCutoff int
+	// DenseBasis solves every LP on the historical dense basis inverse
+	// instead of the sparse LU engine. The engines represent the same basis
+	// exactly, so this switch exists for bisection and as the numerical
+	// kill switch, not for correctness workarounds.
+	DenseBasis bool
+	// DisableCuts skips root cover/clique cut separation (see cuts.go).
+	// Cuts are valid for every integer point and never change the optimal
+	// objective — this switch exists for bisection and parity testing.
+	DisableCuts bool
+	// DisablePseudocost pins branching to the historical most-fractional
+	// rule instead of learned pseudocosts (see pseudocost.go). Branching
+	// order never changes which solutions are optimal, only search speed.
+	DisablePseudocost bool
 }
 
 // DefaultSerialCutoff is the vars×rows product below which multi-worker
@@ -103,6 +116,21 @@ type Options struct {
 // suite: 24-job batches (≈5k after presolve) lose a few percent to pool
 // coordination while 48-job batches (≈15k) win from it.
 const DefaultSerialCutoff = 8192
+
+// productBelow reports a·b < limit for non-negative a, b without computing
+// the product: sharded 10k-node scenarios emit models whose vars×rows
+// product overflows int on 32-bit platforms, and a wrapped product would
+// mis-route huge models onto the serial driver. limit ≤ 0 (routing disabled)
+// is never below.
+func productBelow(a, b, limit int) bool {
+	if limit <= 0 {
+		return false
+	}
+	if a == 0 || b == 0 {
+		return true
+	}
+	return a <= (limit-1)/b
+}
 
 // effectiveWorkers resolves Workers to a concrete worker count.
 func (o Options) effectiveWorkers() int {
@@ -122,6 +150,8 @@ type Solution struct {
 	Workers   int           // branch-and-bound workers used by the search
 	LP        LPStats       // LP-kernel telemetry summed over all relaxations
 	Presolve  PresolveStats // model-reduction telemetry (zero when presolve is disabled)
+	Cuts      CutStats      // root cutting-plane activity (zero when cuts are disabled)
+	Branch    BranchStats   // branching-rule usage counts
 	Runtime   time.Duration
 }
 
@@ -139,6 +169,14 @@ type bbNode struct {
 	seq       uint64 // creation order, for deterministic tie-breaking
 	overrides []boundOverride
 	warm      *basisState // parent's optimal basis (nil: solve cold)
+
+	// Branching record for pseudocost learning: the column the parent
+	// branched on to create this node (−1 at the root), the direction, the
+	// fractional distance pushed, and the parent's LP objective.
+	pcol  int
+	pup   bool
+	pfrac float64
+	pobj  float64
 }
 
 type boundOverride struct {
@@ -194,6 +232,10 @@ type search struct {
 
 	scratch *simplexState // serial driver's (and the root solve's) LP scratch
 	lp      LPStats       // folded worker telemetry; finish() adds s.scratch's
+	cuts    CutStats      // root cutting-plane activity
+	branch  BranchStats   // branching-rule usage
+	pc      *pcTable      // learned pseudocosts, guarded like the heap
+	fracBuf []fracVar     // serial driver's fractional-candidate scratch
 
 	h   *nodeHeap
 	seq uint64
@@ -310,11 +352,12 @@ func Solve(model *Model, opts Options) (*Solution, error) {
 		if cutoff == 0 {
 			cutoff = DefaultSerialCutoff
 		}
-		if cutoff > 0 && len(model.Vars)*len(model.Cons) < cutoff {
+		if productBelow(len(model.Vars), len(model.Cons), cutoff) {
 			workers = 1
 		}
 	}
 	p := newLP(model)
+	p.dense = opts.DenseBasis
 	maximize := model.Sense == Maximize
 	var deadline time.Time
 	if opts.TimeLimit > 0 {
@@ -362,10 +405,10 @@ func Solve(model *Model, opts Options) (*Solution, error) {
 	}
 	rootObj := model.ObjectiveValue(x[:len(model.Vars)])
 
-	frac := firstFractional(model, x)
-	if frac < 0 {
+	integralRoot := func() (*Solution, error) {
 		// LP optimum is already integral.
 		vals := roundIntegral(model, x[:len(model.Vars)])
+		s.lp.add(&s.scratch.stats)
 		return &Solution{
 			Status:    StatusOptimal,
 			Objective: model.ObjectiveValue(vals),
@@ -373,15 +416,21 @@ func Solve(model *Model, opts Options) (*Solution, error) {
 			Values:    vals,
 			Nodes:     1,
 			Workers:   workers,
-			LP:        s.scratch.stats,
+			LP:        s.lp,
+			Cuts:      s.cuts,
 			Runtime:   time.Since(start),
 		}, nil
 	}
-	rootSnap := s.nodeSnapshot(s.scratch)
+	if firstFractional(model, x) < 0 {
+		return integralRoot()
+	}
 
 	// Heuristics on the root for a strong starting incumbent: plain rounding,
 	// then an LP dive that fixes fractional integers one at a time. A good
-	// incumbent matters because gap-based termination returns it directly.
+	// incumbent matters because gap-based termination returns it directly —
+	// and it runs before cut separation, because an incumbent that already
+	// meets the gap against the un-cut root bound makes every separation
+	// round (a model copy plus a cold LP re-solve) pure overhead.
 	s.consider(roundHeuristic(model, x))
 	if opts.Heuristic != nil {
 		s.consider(opts.Heuristic(x[:len(model.Vars)]))
@@ -389,9 +438,23 @@ func Solve(model *Model, opts Options) (*Solution, error) {
 		s.consider(diveFrom(model, p, p.lb, p.ub, x, deadline, !opts.DisableWarmStart, &s.scratch.stats))
 	}
 
+	if !opts.DisableCuts && !s.gapMet(rootObj) {
+		// Strengthen the root relaxation with cover/clique cuts before
+		// branching; the search's model/LP/scratch may be replaced (cuts
+		// only append rows, so variable indexing is untouched — incumbents
+		// stay feasible because cuts hold for every integer point).
+		x, rootObj = s.runCutRounds(x, rootObj)
+		model, p = s.model, s.p
+		if firstFractional(model, x) < 0 {
+			return integralRoot()
+		}
+	}
+	rootSnap := s.nodeSnapshot(s.scratch)
+	s.pc = newPCTable(len(model.Vars))
+
 	s.h = &nodeHeap{max: maximize, det: workers > 1 && opts.Deterministic}
 	heap.Init(s.h)
-	s.pushNode(&bbNode{bound: rootObj, warm: rootSnap})
+	s.pushNode(&bbNode{bound: rootObj, warm: rootSnap, pcol: -1})
 	s.nodes = 1
 	s.bestBound = rootObj
 
@@ -452,6 +515,7 @@ func (s *search) runSerial() {
 			continue
 		}
 		obj := s.model.ObjectiveValue(x[:len(s.model.Vars)])
+		s.noteBranchOutcome(node, obj)
 		if s.incumbent != nil && !s.better(obj, s.incObj) {
 			continue
 		}
@@ -472,16 +536,12 @@ func (s *search) runSerial() {
 		} else if s.opts.Heuristic == nil && s.nodes%64 == 0 {
 			s.consider(diveFrom(s.model, s.p, lbBuf, ubBuf, x, s.deadline, !s.opts.DisableWarmStart, &s.scratch.stats))
 		}
-		// Branch on the most fractional integer variable. Both children share
-		// the parent's basis snapshot — it is immutable once taken.
-		bv := mostFractional(s.model, x)
-		v := x[bv]
-		down := append(append([]boundOverride(nil), node.overrides...),
-			boundOverride{col: bv, isUB: true, value: math.Floor(v + intTol)})
-		up := append(append([]boundOverride(nil), node.overrides...),
-			boundOverride{col: bv, isUB: false, value: math.Ceil(v - intTol)})
-		s.pushNode(&bbNode{bound: obj, depth: node.depth + 1, overrides: down, warm: snap})
-		s.pushNode(&bbNode{bound: obj, depth: node.depth + 1, overrides: up, warm: snap})
+		// Branch by pseudocost score (most-fractional until the table has
+		// history). Both children share the parent's basis snapshot — it is
+		// immutable once taken.
+		s.fracBuf = gatherFractional(s.model, x, s.fracBuf)
+		bv, v := s.selectBranch(s.fracBuf)
+		s.pushChildren(node, bv, v, obj, snap)
 	}
 }
 
@@ -519,7 +579,7 @@ func (s *search) finish() *Solution {
 	if s.scratch != nil { // parallel drivers folded worker scratches already
 		s.lp.add(&s.scratch.stats)
 	}
-	sol := &Solution{Nodes: s.nodes, Bound: s.bestBound, Workers: s.workers, LP: s.lp, Runtime: time.Since(s.start)}
+	sol := &Solution{Nodes: s.nodes, Bound: s.bestBound, Workers: s.workers, LP: s.lp, Cuts: s.cuts, Branch: s.branch, Runtime: time.Since(s.start)}
 	if s.incumbent == nil {
 		if s.h.Len() == 0 {
 			sol.Status = StatusInfeasible

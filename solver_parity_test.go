@@ -145,7 +145,13 @@ func TestSolverParityWarmVsCold(t *testing.T) {
 func TestWarmStartHitRate(t *testing.T) {
 	for _, jobs := range []int{16, 24} {
 		comp := batchedModel(t, jobs, 2)
-		sol, err := milp.Solve(comp.Model, milp.Options{Workers: 1, Heuristic: comp.GreedyRound})
+		// Cuts and pseudocost branching exist to shrink this tree — disable
+		// them here so the search explores enough nodes to measure the
+		// warm-start machinery they would otherwise bypass.
+		sol, err := milp.Solve(comp.Model, milp.Options{
+			Workers: 1, Heuristic: comp.GreedyRound,
+			DisableCuts: true, DisablePseudocost: true,
+		})
 		if err != nil {
 			t.Fatalf("batch%d: %v", jobs, err)
 		}
@@ -498,3 +504,120 @@ func benchComponentSolve(b *testing.B, split bool) {
 
 func BenchmarkBatchedSolveComponentsMono(b *testing.B)  { benchComponentSolve(b, false) }
 func BenchmarkBatchedSolveComponentsSplit(b *testing.B) { benchComponentSolve(b, true) }
+
+func BenchmarkBatchedSolve480Serial(b *testing.B) { benchBatchedSolve(b, 480, 1) }
+func BenchmarkBatchedSolve480Parallel(b *testing.B) {
+	benchBatchedSolve(b, 480, runtime.GOMAXPROCS(0))
+}
+
+// TestBasisEngineParityProperty is the property test of the LU acceptance
+// criteria: across ≥200 seeded compiled instances, solves on the sparse LU
+// engine (the default) agree with the dense-inverse kill switch, with cuts
+// disabled, and with pseudocost branching disabled — each within the
+// configured gap. The stats assertions keep every switch honest: dense runs
+// must never push an eta through the sparse chain, DisableCuts runs must
+// report zero cut activity, DisablePseudocost runs must never take a
+// pseudocost decision, and across the suite the default configuration must
+// actually exercise all three features.
+func TestBasisEngineParityProperty(t *testing.T) {
+	const instances = 220
+	var (
+		luEtas, luFactors  int64
+		cutRounds, cutsAdd int64
+		pcBranches         int64
+	)
+	for i := 0; i < instances; i++ {
+		seed := int64(9000 + i)
+		r := rand.New(rand.NewSource(seed))
+		var comp *compiler.Compiled
+		if i%2 == 0 {
+			comp = batchedModel(t, 2+r.Intn(8), seed)
+		} else {
+			comp = decomposableModel(t, 1+r.Intn(3), 1+r.Intn(3), seed)
+		}
+		gap := 0.0
+		if i%3 == 1 {
+			gap = 0.1
+		}
+		base := milp.Options{Gap: gap, Workers: 2, Deterministic: true, Heuristic: comp.GreedyRound}
+
+		lu, err := milp.Solve(comp.Model, base)
+		if err != nil {
+			t.Fatalf("seed %d: LU solve: %v", seed, err)
+		}
+		variants := []struct {
+			name string
+			mut  func(*milp.Options)
+			chk  func(*milp.Solution)
+		}{
+			{"DenseBasis", func(o *milp.Options) { o.DenseBasis = true }, func(s *milp.Solution) {
+				if s.LP.EtaUpdates != 0 {
+					t.Errorf("seed %d: DenseBasis run pushed %d sparse eta updates", seed, s.LP.EtaUpdates)
+				}
+			}},
+			{"DisableCuts", func(o *milp.Options) { o.DisableCuts = true }, func(s *milp.Solution) {
+				if s.Cuts != (milp.CutStats{}) {
+					t.Errorf("seed %d: DisableCuts left cut activity %+v", seed, s.Cuts)
+				}
+			}},
+			{"DisablePseudocost", func(o *milp.Options) { o.DisablePseudocost = true }, func(s *milp.Solution) {
+				if s.Branch.Pseudocost != 0 {
+					t.Errorf("seed %d: DisablePseudocost took %d pseudocost decisions", seed, s.Branch.Pseudocost)
+				}
+			}},
+		}
+		for _, v := range variants {
+			opts := base
+			v.mut(&opts)
+			sol, err := milp.Solve(comp.Model, opts)
+			if err != nil {
+				t.Fatalf("seed %d: %s solve: %v", seed, v.name, err)
+			}
+			if lu.Values == nil || sol.Values == nil {
+				t.Fatalf("seed %d: missing values (lu=%v %s=%v)", seed, lu.Status, v.name, sol.Status)
+			}
+			// Objective parity within the configured gap: each side is within
+			// gap of the true optimum, so they differ by ≤ gap/(1−gap)·|obj|.
+			tol := 1e-6
+			if gap > 0 {
+				tol += gap / (1 - gap) * math.Max(math.Abs(lu.Objective), math.Abs(sol.Objective))
+			}
+			if diff := math.Abs(lu.Objective - sol.Objective); diff > tol {
+				t.Errorf("seed %d (gap %.2f): LU %.9f vs %s %.9f differ by %.9f > %.9f",
+					seed, gap, lu.Objective, v.name, sol.Objective, diff, tol)
+			}
+			v.chk(sol)
+		}
+
+		// Deterministic LU reruns are byte-identical.
+		if i%8 == 0 {
+			again, err := milp.Solve(comp.Model, base)
+			if err != nil {
+				t.Fatalf("seed %d: repeat LU solve: %v", seed, err)
+			}
+			if !reflect.DeepEqual(lu.Values, again.Values) {
+				t.Errorf("seed %d: deterministic LU runs diverged", seed)
+			}
+		}
+
+		luEtas += lu.LP.EtaUpdates
+		luFactors += lu.LP.Factorizations
+		cutRounds += int64(lu.Cuts.Rounds)
+		cutsAdd += int64(lu.Cuts.Cover + lu.Cuts.Clique)
+		pcBranches += lu.Branch.Pseudocost
+	}
+	// Positive-side honesty: across 220 instances the default configuration
+	// must actually run the machinery the switches disable.
+	if luEtas == 0 {
+		t.Error("no sparse eta updates across the whole suite; LU path not exercised")
+	}
+	if luFactors == 0 {
+		t.Error("no factorizations across the whole suite; LU path not exercised")
+	}
+	if cutRounds == 0 || cutsAdd == 0 {
+		t.Errorf("no root cuts separated across the whole suite (rounds=%d cuts=%d)", cutRounds, cutsAdd)
+	}
+	if pcBranches == 0 {
+		t.Error("no pseudocost branching decisions across the whole suite")
+	}
+}
