@@ -42,7 +42,7 @@ race:
 # drift (burstable-VM throttling) doesn't masquerade as a regression.
 BENCHTIME ?= 1s
 bench:
-	$(GO) test -run='^$$' -bench='BenchmarkBatchedSolve|BenchmarkSchedulerCycle|BenchmarkShardedCycle|BenchmarkLoadgen' -benchmem -count=6 -benchtime=$(BENCHTIME) . \
+	$(GO) test -run='^$$' -bench='BenchmarkBatchedSolve|BenchmarkSchedulerCycle|BenchmarkShardedCycle|BenchmarkCycleFrontEnd|BenchmarkLoadgen' -benchmem -count=6 -benchtime=$(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -o BENCH_milp.json
 
 # Regression gate: re-run the tracked benchmarks and diff min ns/op (best of
@@ -59,7 +59,7 @@ bench:
 # shared-runner noise.
 BENCHCOMPARE_FLAGS ?=
 bench-compare:
-	$(GO) test -run='^$$' -bench='BenchmarkBatchedSolve|BenchmarkSchedulerCycle|BenchmarkShardedCycle|BenchmarkLoadgen' -benchmem -count=6 -benchtime=$(BENCHTIME) . \
+	$(GO) test -run='^$$' -bench='BenchmarkBatchedSolve|BenchmarkSchedulerCycle|BenchmarkShardedCycle|BenchmarkCycleFrontEnd|BenchmarkLoadgen' -benchmem -count=6 -benchtime=$(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_milp.json $(BENCHCOMPARE_FLAGS)
 
 # Every benchmark in the repo (reduced-scale paper tables/figures included).

@@ -278,6 +278,115 @@ func BenchmarkSchedulerCycleChurn10(b *testing.B)   { benchSchedulerCycleChurn(b
 func BenchmarkSchedulerCycleChurn50(b *testing.B)   { benchSchedulerCycleChurn(b, 50, false) }
 func BenchmarkSchedulerCycleChurnCold(b *testing.B) { benchSchedulerCycleChurn(b, 1, true) }
 
+// benchCycleFrontEndChurn measures the cycle *front end* — STRL generation
+// plus compilation, the phases upstream of the solve — on the same RC256
+// steady-state scenario as benchSchedulerCycleChurn, as a function of churn.
+// ns/op still covers the whole cycle; the headline quantity is the
+// "frontend-ns" custom metric, the per-cycle GenerateNS+CompileNS delta. The
+// incremental solve cache stays on in every variant so the front end is the
+// only thing the disableCache axis varies; the ≤25% steady-vs-cold
+// acceptance ratio in BENCH_milp.json compares FrontEndChurn0 against
+// FrontEndChurnCold on this metric.
+func benchCycleFrontEndChurn(b *testing.B, churnPct int, disableCache bool) {
+	c := cluster.RC256(false)
+	const (
+		blocks     = 8
+		perBlock   = 9
+		warmCycles = 16
+		epochLen   = 60
+	)
+	widths := [perBlock]int{2, 3, 5, 7, 2, 3, 5, 7, 2}
+	blockData := func(g int) []int {
+		data := make([]int, 8)
+		for i := range data {
+			data[i] = g*32 + i
+		}
+		return data
+	}
+	free := bitset.New(c.N())
+	var sched *core.Scheduler
+	var now int64
+	cyclesLeft := 0
+	nextID := 1000
+	acc, rot := 0, 0
+	var feNS int64
+	skips, compiled := 0, 0
+	flushStats := func() {
+		if sched != nil {
+			skips += sched.Stats.CompileSkips
+			compiled += sched.Stats.CompileJobs
+		}
+	}
+	newEpoch := func() {
+		flushStats()
+		sched = core.New(c, core.Config{CyclePeriod: 4, PlanAhead: 40, MaxBatch: 192,
+			DisableCompileCache: disableCache})
+		for g := 0; g < blocks; g++ {
+			sched.Submit(0, &workload.Job{ID: 900 + g, Class: workload.BestEffort,
+				Type: workload.Unconstrained, Submit: 0, K: 32, BaseRuntime: 4, Slowdown: 1})
+		}
+		sched.Cycle(0, c.All())
+		id := 0
+		for g := 0; g < blocks; g++ {
+			for j := 0; j < perBlock; j++ {
+				sched.Submit(4, &workload.Job{ID: id, Class: workload.SLO, Reserved: true,
+					Type: workload.DataLocal, Submit: 4, K: widths[j], BaseRuntime: 12, Slowdown: 40,
+					Deadline: 390, DataNodes: blockData(g)})
+				id++
+			}
+		}
+		now = 4
+		for i := 0; i < warmCycles; i++ {
+			sched.Cycle(now, free)
+			now += 4
+		}
+		cyclesLeft = epochLen
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cyclesLeft == 0 {
+			b.StopTimer()
+			newEpoch()
+			b.StartTimer()
+		}
+		acc += churnPct * blocks * perBlock
+		for acc >= 100 {
+			acc -= 100
+			sched.Submit(now, &workload.Job{ID: nextID, Class: workload.SLO, Reserved: true,
+				Type: workload.DataLocal, Submit: now, K: 2, BaseRuntime: 4, Slowdown: 40,
+				Deadline: now + 10, DataNodes: blockData(rot % blocks)})
+			nextID++
+			rot++
+		}
+		pre := sched.Stats.GenerateNS + sched.Stats.CompileNS
+		sched.Cycle(now, free)
+		feNS += sched.Stats.GenerateNS + sched.Stats.CompileNS - pre
+		now += 4
+		cyclesLeft--
+	}
+	b.StopTimer()
+	flushStats()
+	if disableCache && (skips != 0 || sched.Stats.ExprHits != 0) {
+		b.Fatal("cold front-end benchmark touched the compile cache")
+	}
+	if !disableCache && skips == 0 {
+		b.Fatal("steady-state front-end benchmark skipped no compiles; it is not measuring the cache")
+	}
+	b.ReportMetric(float64(feNS)/float64(b.N), "frontend-ns")
+	if skips+compiled > 0 {
+		b.ReportMetric(float64(skips)/float64(skips+compiled), "compile-skip-rate")
+	}
+}
+
+// Front-end churn sweep, mirroring the solve-side sweep above. ChurnCold runs
+// the zero-churn workload with DisableCompileCache — the cold front-end
+// baseline the steady-state ratio is measured against.
+func BenchmarkCycleFrontEndChurn0(b *testing.B)    { benchCycleFrontEndChurn(b, 0, false) }
+func BenchmarkCycleFrontEndChurn1(b *testing.B)    { benchCycleFrontEndChurn(b, 1, false) }
+func BenchmarkCycleFrontEndChurn10(b *testing.B)   { benchCycleFrontEndChurn(b, 10, false) }
+func BenchmarkCycleFrontEndChurn50(b *testing.B)   { benchCycleFrontEndChurn(b, 50, false) }
+func BenchmarkCycleFrontEndChurnCold(b *testing.B) { benchCycleFrontEndChurn(b, 0, true) }
+
 // benchShardedCycle runs the full RC10K sharding scenario (internal/
 // experiments.ExtShard's code path, bench scale) once per iteration: a
 // 10240-node cluster under a GS HET workload whose unconstrained jobs couple

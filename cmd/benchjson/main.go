@@ -22,11 +22,12 @@
 //   - the suite geomean of min ns/op deltas must stay within -threshold
 //     (default +10%) — catches systemic slowdowns while per-benchmark noise
 //     cancels across the suite;
+//
 //   - no single benchmark may regress beyond -max-single (default +50%) —
 //     catches an isolated algorithmic blowup that a 17-benchmark geomean
 //     would dilute below the suite threshold.
 //
-//	go test -run='^$' -bench=... -benchmem -count=6 . | go run ./cmd/benchjson -compare BENCH_milp.json
+//     go test -run='^$' -bench=... -benchmem -count=6 . | go run ./cmd/benchjson -compare BENCH_milp.json
 package main
 
 import (
@@ -226,6 +227,20 @@ func compareReports(base, cur *report, threshold, maxSingle float64, w io.Writer
 		}
 		fmt.Fprintf(w, "  %-40s %12.0f -> %12.0f min ns/op  %+7.1f%% (mean %+7.1f%%)  %s\n",
 			c.Name, bMin, cMin, 100*minDelta, 100*meanDelta, verdict)
+		// Custom b.ReportMetric values (e.g. compile-skip-rate, slo-pct) are
+		// carried through for the reader but never judged: they measure
+		// policy or cache quantities, not time, so the regression verdict
+		// stays a pure ns/op statement.
+		names := make([]string, 0, len(c.Metrics))
+		for name := range c.Metrics {
+			if _, ok := b.Metrics[name]; ok {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "    %-38s %12.4g -> %12.4g %s  (info)\n", "", b.Metrics[name], c.Metrics[name], name)
+		}
 	}
 	if compared > 0 {
 		geomean := math.Expm1(logSum / float64(compared))

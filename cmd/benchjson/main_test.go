@@ -185,3 +185,31 @@ func TestCompareReports(t *testing.T) {
 		t.Error("a -30% improvement must pass even at threshold 0")
 	}
 }
+
+// TestCompareCarriesCustomMetrics: custom metrics present on both sides of a
+// comparison are printed as info lines (so compile-skip-rate and friends
+// survive into the gate output) but never affect the verdict — the metric
+// can collapse to zero while ns/op improves and the gate must stay green.
+func TestCompareCarriesCustomMetrics(t *testing.T) {
+	base := &report{Benchmarks: []summary{{
+		Name: "BenchmarkCycleFrontEndChurn0", NsPerOpMean: 200, NsPerOpMin: 200,
+		Metrics: map[string]float64{"compile-skip-rate": 0.97, "frontend-ns": 1300},
+	}}}
+	cur := &report{Benchmarks: []summary{{
+		Name: "BenchmarkCycleFrontEndChurn0", NsPerOpMean: 100, NsPerOpMin: 100,
+		Metrics: map[string]float64{"compile-skip-rate": 0, "frontend-ns": 1200},
+	}}}
+	var out strings.Builder
+	if compareReports(base, cur, 0.10, 0.50, &out) {
+		t.Errorf("custom-metric changes must never fail the gate:\n%s", out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"compile-skip-rate", "frontend-ns", "(info)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("comparison output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Index(got, "compile-skip-rate") > strings.Index(got, "frontend-ns") {
+		t.Errorf("metric info lines must print in sorted order:\n%s", got)
+	}
+}

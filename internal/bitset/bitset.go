@@ -91,6 +91,13 @@ func (s *Set) Clone() *Set {
 	return c
 }
 
+// CopyFrom makes s an exact copy of t without allocating (equal capacities
+// required). It is Clone for callers that own a reusable scratch set.
+func (s *Set) CopyFrom(t *Set) {
+	s.sameCap(t)
+	copy(s.words, t.words)
+}
+
 // Clear removes all elements.
 func (s *Set) Clear() {
 	for i := range s.words {

@@ -15,7 +15,6 @@ package compiler
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"tetrisched/internal/bitset"
 	"tetrisched/internal/cluster"
@@ -79,13 +78,43 @@ type Compiled struct {
 	childInd map[strl.Expr]milp.VarID // indicator created for each max/sum child
 	minVar   map[strl.Expr]milp.VarID // value variable of each MIN node
 	avail    [][]int64                // [group][slice]
-	used     map[useKey][]milp.Term
-	objTerm  map[milp.VarID]float64
+	scr      *Scratch                 // build-time only; nil once Compile returns
 }
 
-type useKey struct {
-	group int
-	slice int64
+// Scratch owns the reusable build buffers for Compile, so a caller that
+// compiles every cycle (the scheduler hot path) produces near-zero garbage
+// beyond the Compiled it keeps. The zero value is ready to use; a Scratch
+// must not be used from more than one goroutine at a time, and the Compiled
+// it returns does not retain it.
+type Scratch struct {
+	universe *bitset.Set
+	eqsets   []*bitset.Set
+	covers   map[strl.Expr][]int
+	objTerm  map[milp.VarID]float64
+	// use is the dense supply accumulator, one cell of usage terms per
+	// (group, slice) at cell index group*horizon+slice. Cells keep their
+	// capacity across compilations.
+	use    [][]milp.Term
+	demand []milp.Term // leaf demand-row build buffer (AddConstraint copies)
+}
+
+// useGrid sizes the supply accumulator for nG groups over h slices and
+// resets every cell. Resetting at the start of a compilation (rather than
+// the end) keeps an error return from poisoning the next one.
+func (sc *Scratch) useGrid(nG int, h int64) {
+	need := nG * int(h)
+	if need > cap(sc.use) {
+		grown := make([][]milp.Term, need)
+		copy(grown, sc.use[:cap(sc.use)])
+		sc.use = grown
+	} else {
+		sc.use = sc.use[:need]
+	}
+	for i, cell := range sc.use {
+		if len(cell) != 0 {
+			sc.use[i] = cell[:0]
+		}
+	}
 }
 
 // LeafGrant is a decoded allocation for one leaf: how many nodes it receives
@@ -103,6 +132,13 @@ type LeafGrant struct {
 // The top level is an implicit SUM across jobs, each with its own indicator,
 // exactly as the scheduler aggregates pending requests (§3.2).
 func Compile(jobs []strl.Expr, opts Options) (*Compiled, error) {
+	return new(Scratch).Compile(jobs, opts)
+}
+
+// Compile is the package-level Compile against this Scratch's pooled
+// buffers. The emitted model is byte-identical to a fresh compilation:
+// pooling only changes where the intermediate build state lives.
+func (sc *Scratch) Compile(jobs []strl.Expr, opts Options) (*Compiled, error) {
 	if opts.Universe <= 0 {
 		return nil, fmt.Errorf("compiler: universe must be positive")
 	}
@@ -119,8 +155,9 @@ func Compile(jobs []strl.Expr, opts Options) (*Compiled, error) {
 	}
 
 	// Gather every equivalence set referenced this cycle and partition the
-	// cluster against them.
-	var eqsets []*bitset.Set
+	// cluster against them. Partition clones the universe and refines into
+	// fresh group sets, retaining neither input, so both are poolable.
+	eqsets := sc.eqsets[:0]
 	for _, j := range jobs {
 		for _, l := range strl.Leaves(j) {
 			switch x := l.(type) {
@@ -131,9 +168,21 @@ func Compile(jobs []strl.Expr, opts Options) (*Compiled, error) {
 			}
 		}
 	}
-	universe := bitset.New(opts.Universe)
-	universe.Fill()
-	part := cluster.Partition(universe, eqsets)
+	sc.eqsets = eqsets
+	if sc.universe == nil || sc.universe.Cap() != opts.Universe {
+		sc.universe = bitset.New(opts.Universe)
+	}
+	sc.universe.Fill()
+	part := cluster.Partition(sc.universe, eqsets)
+
+	if sc.covers == nil {
+		sc.covers = make(map[strl.Expr][]int)
+		sc.objTerm = make(map[milp.VarID]float64)
+	} else {
+		clear(sc.covers)
+		clear(sc.objTerm)
+	}
+	sc.useGrid(len(part.Groups), opts.Horizon)
 
 	c := &Compiled{
 		Model:    milp.NewModel(milp.Maximize),
@@ -143,18 +192,16 @@ func Compile(jobs []strl.Expr, opts Options) (*Compiled, error) {
 		byExpr:   make(map[strl.Expr]*leafRecord),
 		childInd: make(map[strl.Expr]milp.VarID),
 		minVar:   make(map[strl.Expr]milp.VarID),
-		used:     make(map[useKey][]milp.Term),
-		objTerm:  make(map[milp.VarID]float64),
+		scr:      sc,
 	}
 	c.computeAvail()
 
 	// Map each leaf to its equivalence-set cover (aligned with eqsets order).
-	covers := make(map[strl.Expr][]int)
 	{
 		i := 0
 		for _, j := range jobs {
 			for _, l := range strl.Leaves(j) {
-				covers[l] = part.Cover[i]
+				sc.covers[l] = part.Cover[i]
 				i++
 			}
 		}
@@ -164,46 +211,44 @@ func Compile(jobs []strl.Expr, opts Options) (*Compiled, error) {
 		c.jobVarLo = append(c.jobVarLo, c.Model.NumVars())
 		ind := c.Model.AddBinary(fmt.Sprintf("I_j%d", jid), 0)
 		c.jobInd = append(c.jobInd, ind)
-		terms, err := c.gen(jid, job, ind, covers)
+		terms, err := c.gen(jid, job, ind, sc.covers)
 		if err != nil {
+			c.scr = nil
 			return nil, err
 		}
 		for _, t := range terms {
-			c.objTerm[t.Var] += t.Coef
+			sc.objTerm[t.Var] += t.Coef
 		}
 	}
-	for v, coef := range c.objTerm {
+	for v, coef := range sc.objTerm {
 		c.Model.SetObj(v, coef)
 	}
 	// Supply constraints: usage within each (group, slice) cannot exceed the
 	// nodes available there. Constraints that cannot bind are dropped.
-	// Keys are sorted so the emitted model (and thus the chosen optimum
-	// among ties) is deterministic.
-	keys := make([]useKey, 0, len(c.used))
-	for key := range c.used {
-		keys = append(keys, key)
+	// The dense accumulator is walked group-major then slice-major, the same
+	// order the old sorted-key emission used, so the emitted model (and thus
+	// the chosen optimum among ties) stays deterministic.
+	h := int(opts.Horizon)
+	for g := range part.Groups {
+		for t := 0; t < h; t++ {
+			terms := sc.use[g*h+t]
+			if len(terms) == 0 {
+				continue
+			}
+			limit := c.avail[g][t]
+			maxUse := 0.0
+			for _, tm := range terms {
+				maxUse += tm.Coef * c.Model.Vars[tm.Var].Ub
+			}
+			if maxUse <= float64(limit) {
+				continue
+			}
+			c.Model.AddConstraint(
+				fmt.Sprintf("supply_g%d_t%d", g, t),
+				terms, milp.LE, float64(limit))
+		}
 	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a].group != keys[b].group {
-			return keys[a].group < keys[b].group
-		}
-		return keys[a].slice < keys[b].slice
-	})
-	for _, key := range keys {
-		terms := c.used[key]
-		limit := c.avail[key.group][key.slice]
-		maxUse := 0.0
-		for _, t := range terms {
-			maxUse += t.Coef * c.Model.Vars[t.Var].Ub
-		}
-		if maxUse <= float64(limit) {
-			continue
-		}
-		c.Model.AddConstraint(
-			fmt.Sprintf("supply_g%d_t%d", key.group, key.slice),
-			terms, milp.LE, float64(limit))
-	}
-	c.used = nil
+	c.scr = nil
 	return c, nil
 }
 
@@ -361,7 +406,7 @@ func (c *Compiled) genNCk(job int, leaf *strl.NCk, ind milp.VarID, cover []int) 
 		c.addUse(cover[0], s, e, milp.Term{Var: ind, Coef: float64(leaf.K)})
 		return []milp.Term{{Var: ind, Coef: leaf.Value}}, nil
 	}
-	demand := make([]milp.Term, 0, len(cover)+1)
+	demand := c.scr.demand[:0]
 	for _, g := range cover {
 		ub := math.Min(float64(leaf.K), float64(c.minAvail(g, s, e)))
 		p := c.Model.AddVar(fmt.Sprintf("P_j%d_g%d_s%d", job, g, leaf.Start), milp.Integer, 0, ub, 0)
@@ -369,9 +414,11 @@ func (c *Compiled) genNCk(job int, leaf *strl.NCk, ind milp.VarID, cover []int) 
 		demand = append(demand, milp.Term{Var: p, Coef: 1})
 		c.addUse(g, s, e, milp.Term{Var: p, Coef: 1})
 	}
-	// Demand: Σ P_x = k·I.
+	// Demand: Σ P_x = k·I. AddConstraint copies its terms, so the pooled
+	// build buffer can be handed over and reused for the next leaf.
 	demand = append(demand, milp.Term{Var: ind, Coef: -float64(leaf.K)})
 	c.Model.AddConstraint(fmt.Sprintf("demand_j%d_s%d", job, leaf.Start), demand, milp.EQ, 0)
+	c.scr.demand = demand
 	return []milp.Term{{Var: ind, Coef: leaf.Value}}, nil
 }
 
@@ -387,7 +434,7 @@ func (c *Compiled) genLnCk(job int, leaf *strl.LnCk, ind milp.VarID, cover []int
 			[]milp.Term{{Var: ind, Coef: 1}}, milp.LE, 0)
 		return nil, nil
 	}
-	demand := make([]milp.Term, 0, len(cover)+1)
+	demand := c.scr.demand[:0]
 	var out []milp.Term
 	for _, g := range cover {
 		ub := math.Min(float64(leaf.K), float64(c.minAvail(g, s, e)))
@@ -400,6 +447,7 @@ func (c *Compiled) genLnCk(job int, leaf *strl.LnCk, ind milp.VarID, cover []int
 	// Demand: Σ P_x ≤ k·I.
 	demand = append(demand, milp.Term{Var: ind, Coef: -float64(leaf.K)})
 	c.Model.AddConstraint(fmt.Sprintf("ldemand_j%d_s%d", job, leaf.Start), demand, milp.LE, 0)
+	c.scr.demand = demand
 	return out, nil
 }
 
@@ -418,9 +466,10 @@ func (c *Compiled) minAvail(g int, s, e int64) int64 {
 }
 
 func (c *Compiled) addUse(g int, s, e int64, term milp.Term) {
-	for t := s; t < e; t++ {
-		key := useKey{group: g, slice: t}
-		c.used[key] = append(c.used[key], term)
+	h := int(c.opts.Horizon)
+	for t := int(s); t < int(e); t++ {
+		i := g*h + t
+		c.scr.use[i] = append(c.scr.use[i], term)
 	}
 }
 

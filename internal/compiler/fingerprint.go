@@ -83,6 +83,9 @@ func HashFloatsInto(fp uint64, vec []float64) uint64 {
 // fingerprints across cycles mean the sub-solve would run on byte-identical
 // inputs, so its prior solution can be replayed verbatim.
 func (c *Compiled) ComponentFingerprint(cc *Component) uint64 {
+	if cc.fpSet {
+		return cc.fp
+	}
 	h := fnvOffset
 	m := cc.Model
 	h.i64(int64(m.Sense))
@@ -157,7 +160,8 @@ func (c *Compiled) ComponentFingerprint(cc *Component) uint64 {
 			}
 		}
 	}
-	return uint64(h)
+	cc.fp, cc.fpSet = uint64(h), true
+	return cc.fp
 }
 
 // ComponentGroups returns the partition-group indices referenced by the

@@ -40,12 +40,13 @@ func (s *Scheduler) incEnabled() bool { return !s.cfg.DisableIncremental && !s.c
 
 // markJobDirty records that a job's scheduler-visible state changed
 // (arrival, completion, drop, launch, preemption) so any component
-// containing it skips the reuse cache next cycle. No-op when incremental
-// scheduling is off.
+// containing it skips the reuse cache next cycle, and purges the front-end
+// caches naming it (frontend.go). No-op when both machineries are off.
 func (s *Scheduler) markJobDirty(id int) {
 	if s.dirtyJobs != nil {
 		s.dirtyJobs[id] = struct{}{}
 	}
+	s.purgeFrontEnd(id)
 }
 
 // purgeReuse drops every cached component containing the job. The cache

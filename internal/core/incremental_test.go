@@ -127,28 +127,36 @@ func TestIncrementalKillSwitch(t *testing.T) {
 
 // TestIncrementalStateDrains is the cross-cycle leak audit: after a full
 // simulation in which every job completes or is dropped, every per-job map —
-// lastJob, running, pending, and the reuse cache (terminal events purge it
-// eagerly; a drained scheduler sees no further global cycle to rebuild the
-// epoch) — must be empty. dirtyJobs is exempt by design: it is a bounded
-// buffer of recent event marks consumed at the next global cycle, not a
-// per-job registry.
+// lastJob, running, pending, the reuse cache, and the front-end caches
+// (terminal events purge them eagerly; a drained scheduler sees no further
+// global cycle to rebuild them) — must be empty, monolithic and sharded
+// alike. dirtyJobs is exempt by design: it is a bounded buffer of recent
+// event marks consumed at the next global cycle, not a per-job registry.
 func TestIncrementalStateDrains(t *testing.T) {
-	c := cluster.RC80(true)
-	jobs, err := workload.Generate(workload.GSHET(15), c, 11)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sched := New(c, Config{PlanAhead: 48, EnablePreemption: true})
-	if _, err := sim.Run(sim.Config{Cluster: c, Jobs: jobs, Scheduler: sched}); err != nil {
-		t.Fatal(err)
-	}
-	if sched.Pending() != 0 || sched.Running() != 0 {
-		t.Errorf("scheduler not drained: pending=%d running=%d", sched.Pending(), sched.Running())
-	}
-	if len(sched.lastJob) != 0 {
-		t.Errorf("lastJob retains %d entries after drain: %v", len(sched.lastJob), sched.lastJob)
-	}
-	for key, ent := range sched.reuse {
-		t.Errorf("reuse cache retains entry %x for jobs %v after drain", key, ent.ids)
+	for _, shards := range []int{0, 2} {
+		c := cluster.RC80(true)
+		jobs, err := workload.Generate(workload.GSHET(15), c, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := New(c, Config{PlanAhead: 48, EnablePreemption: true, Shards: shards})
+		if _, err := sim.Run(sim.Config{Cluster: c, Jobs: jobs, Scheduler: sched}); err != nil {
+			t.Fatal(err)
+		}
+		if sched.Pending() != 0 || sched.Running() != 0 {
+			t.Errorf("shards=%d: scheduler not drained: pending=%d running=%d", shards, sched.Pending(), sched.Running())
+		}
+		if len(sched.lastJob) != 0 {
+			t.Errorf("shards=%d: lastJob retains %d entries after drain: %v", shards, len(sched.lastJob), sched.lastJob)
+		}
+		for key, ent := range sched.reuse {
+			t.Errorf("shards=%d: reuse cache retains entry %x for jobs %v after drain", shards, key, ent.ids)
+		}
+		if len(sched.exprCache) != 0 {
+			t.Errorf("shards=%d: expression cache retains %d entries after drain", shards, len(sched.exprCache))
+		}
+		if sched.fe.valid {
+			t.Errorf("shards=%d: whole-batch compile cache still valid after drain (jobs %v)", shards, sched.fe.reqs)
+		}
 	}
 }

@@ -6,7 +6,9 @@ import (
 
 	"tetrisched/internal/bitset"
 	"tetrisched/internal/cluster"
+	"tetrisched/internal/compiler"
 	"tetrisched/internal/sim"
+	"tetrisched/internal/strl"
 	"tetrisched/internal/trace"
 	"tetrisched/internal/workload"
 )
@@ -286,5 +288,45 @@ func TestReuseMapShrinksAfterSpike(t *testing.T) {
 	sched.Cycle(12, bitset.New(8))
 	if sched.Stats.ReuseHits <= hits {
 		t.Error("replay stopped after the shrink; the right-sized copy must preserve entries")
+	}
+}
+
+// TestClassifyConflictAllocs pins the commit loop's conflict classifier
+// allocation-free in steady state. classifyConflict runs once per failed
+// grant inside the per-cycle commit loop, so a per-call Clone of the working
+// set would allocate proportionally to contention; the scheduler-owned
+// scratch set must absorb it entirely.
+func TestClassifyConflictAllocs(t *testing.T) {
+	c := twoRackCluster()
+	sched := New(c, Config{CyclePeriod: 4, PlanAhead: 16, Gap: 0, Shards: 2})
+	for _, j := range []*workload.Job{be(0, 3, 8), be(1, 3, 8), be(2, 3, 8), be(3, 3, 8)} {
+		sched.Submit(0, j)
+	}
+	free := bitset.New(c.N())
+	free.Fill()
+	sched.Cycle(0, free) // launches bump epochs past the cycle's snapshot
+	if len(sched.shardState.MovedSince(sched.shardSnap, nil)) == 0 {
+		t.Fatal("no nodes moved since the snapshot; the classifier's hot path is not exercised")
+	}
+
+	// A one-leaf model over the whole cluster: the grant wants 3 nodes of
+	// group 0, the working set is empty, and the moved nodes (claimed by the
+	// winning commits) would cure it — a genuine cross-shard conflict.
+	all := bitset.New(c.N())
+	all.Fill()
+	leaf := &strl.NCk{Set: all, K: 3, Start: 0, Dur: 2, Value: 1}
+	comp, err := compiler.Compile([]strl.Expr{leaf}, compiler.Options{Universe: c.N(), Horizon: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant := compiler.LeafGrant{Job: 0, Leaf: leaf, Dur: 2, Counts: map[int]int{0: 3}, Total: 3}
+	working := bitset.New(c.N())
+	if !sched.classifyConflict(comp, grant, working) {
+		t.Fatal("grant not classified as a conflict; the scenario exercised nothing")
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		sched.classifyConflict(comp, grant, working)
+	}); avg != 0 {
+		t.Errorf("classifyConflict allocates %.1f times per call in steady state, want 0", avg)
 	}
 }

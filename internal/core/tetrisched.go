@@ -88,6 +88,15 @@ type Config struct {
 	// switch in the DisableWarmStart/DisablePresolve mold — placements are
 	// policy-identical either way, only slower (docs/SOLVER.md).
 	DisableIncremental bool
+	// DisableCompileCache turns off the churn-proportional cycle front end
+	// (internal/core/frontend.go): the per-job STRL expression cache and the
+	// whole-batch compiled-model cache. Every cycle then regenerates and
+	// recompiles from scratch, the pre-compile-cache behavior. A hit requires
+	// the batch's request pointers and believed release slices to be
+	// identical, which makes the compiler's inputs byte-identical, so this is
+	// a bisection switch in the DisableWarmStart/DisablePresolve mold —
+	// placements are policy-identical either way, only slower (docs/SOLVER.md).
+	DisableCompileCache bool
 	// Shards enables the sharded shared-state control plane (internal/shard,
 	// docs/SHARDING.md): the cluster is partitioned into Shards shards, each
 	// planned by its own concurrent per-shard sub-solve over an optimistic
@@ -182,6 +191,17 @@ type SolveStats struct {
 	ReuseHits   int // component sub-solves replayed from the previous cycle
 	ReuseMisses int // fingerprinted components that had to be solved fresh
 
+	// Cycle front-end telemetry (internal/core/frontend.go). The timers
+	// accrue regardless of configuration; the hit/skip counters stay zero
+	// when the compile cache is disabled, so the kill switch is honest in
+	// both directions.
+	GenerateNS   int64 // STRL generation wall-clock across all cycles, nanoseconds
+	CompileNS    int64 // compile+decompose+route wall-clock across all cycles, nanoseconds
+	ExprHits     int   // pending jobs whose STRL request came from the expression cache
+	ExprMisses   int   // pending jobs generated fresh with the expression cache enabled
+	CompileSkips int   // batched jobs whose compiled model was reused verbatim
+	CompileJobs  int   // batched jobs compiled fresh in a global cycle
+
 	// Presolve telemetry (internal/milp/presolve.go), summed across solves.
 	PresolveFixed   int           // variables fixed before branch-and-bound
 	PresolveRows    int           // constraint rows eliminated
@@ -222,6 +242,16 @@ func (st *SolveStats) ReuseHitRate() float64 {
 		return 0
 	}
 	return float64(st.ReuseHits) / float64(total)
+}
+
+// CompileSkipRate returns the fraction of batched jobs whose compiled model
+// was reused verbatim instead of compiled (0 when no global cycle ran).
+func (st *SolveStats) CompileSkipRate() float64 {
+	total := st.CompileSkips + st.CompileJobs
+	if total == 0 {
+		return 0
+	}
+	return float64(st.CompileSkips) / float64(total)
 }
 
 // MeanSolve returns the mean wall-clock per MILP solve.
@@ -304,6 +334,14 @@ type Scheduler struct {
 	reuseNext map[uint64]*reuseEntry // recycled scratch for next cycle's epoch map
 	reuseHW   int                    // high-water len of the reuse map since last shrink
 
+	// Cycle front-end state (internal/core/frontend.go); exprCache is nil
+	// when the compile cache is disabled. compScr and conflictScratch are
+	// always-on allocation pools, independent of any cache semantics.
+	exprCache       map[int]*exprEntry // job ID → cached STRL request + expiry
+	fe              feState            // whole-batch compile cache
+	compScr         *compiler.Scratch  // pooled compile build buffers
+	conflictScratch *bitset.Set        // classifyConflict working-set scratch
+
 	// Sharded control-plane state (internal/shard, docs/SHARDING.md); all nil
 	// or zero when Config.Shards == 0 (the monolithic kill switch).
 	shardSets  []*bitset.Set // node set per shard, from the Partitioner
@@ -359,10 +397,14 @@ func New(c *cluster.Cluster, cfg Config) *Scheduler {
 		running: make(map[int]*runInfo),
 		lastJob: make(map[int]planChoice),
 		tr:      cfg.Tracer,
+		compScr: new(compiler.Scratch),
 	}
 	if s.incEnabled() {
 		s.dirtyJobs = make(map[int]struct{})
 		s.reuse = make(map[uint64]*reuseEntry)
+	}
+	if s.feEnabled() {
+		s.exprCache = make(map[int]*exprEntry)
 	}
 	if cfg.Shards > 0 && !cfg.Greedy {
 		p := cfg.Partitioner
@@ -479,10 +521,32 @@ func (s *Scheduler) Cycle(now int64, free *bitset.Set) sim.CycleResult {
 	// culled (counted as SLO misses).
 	ordered := s.orderedPending()
 	genSpan := s.tr.Begin("strl", "generate")
+	genT0 := time.Now()
 	reqs := make([]*strlgen.Request, 0, len(ordered))
 	nOptions := 0
 	for _, j := range ordered {
-		req := s.gen.Generate(now, j)
+		var req *strlgen.Request
+		if s.exprCache != nil {
+			// Expression cache (frontend.go): reuse the previously generated
+			// request verbatim while its value-function expiry bound holds.
+			// Pointer-stable requests are what lets the whole-batch compile
+			// cache recognize an unchanged cycle downstream.
+			if ent, ok := s.exprCache[j.ID]; ok && now <= ent.validUntil {
+				req = ent.req
+				s.Stats.ExprHits++
+			} else {
+				var until int64
+				req, until = s.gen.GenerateTTL(now, j)
+				s.Stats.ExprMisses++
+				if req != nil && until > now {
+					s.exprCache[j.ID] = &exprEntry{req: req, validUntil: until}
+				} else if ok {
+					delete(s.exprCache, j.ID)
+				}
+			}
+		} else {
+			req = s.gen.Generate(now, j)
+		}
 		if req == nil {
 			res.Dropped = append(res.Dropped, j)
 			s.removePending(j)
@@ -495,6 +559,7 @@ func (s *Scheduler) Cycle(now int64, free *bitset.Set) sim.CycleResult {
 		nOptions += len(req.Options)
 		reqs = append(reqs, req)
 	}
+	s.Stats.GenerateNS += time.Since(genT0).Nanoseconds()
 	genSpan.End(trace.I("jobs", int64(len(ordered))), trace.I("requests", int64(len(reqs))),
 		trace.I("options", int64(nOptions)), trace.I("dropped", int64(len(res.Dropped))))
 	if len(reqs) == 0 {
@@ -526,23 +591,73 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 		}
 		reqs = reqs[:s.cfg.MaxBatch]
 	}
-	jobExprs := make([]strl.Expr, len(reqs))
-	for i, r := range reqs {
-		jobExprs[i] = r.Expr
-	}
 	rel := s.releaseSlices(now)
+	// Compile — or recognize an unchanged cycle and skip it. Decomposition
+	// (and in sharded mode, request routing) is derived deterministically
+	// from the compile inputs, so it is cached and reused with them:
+	// jobs competing for disjoint node groups across the window form
+	// independent sub-MILPs that solve concurrently, and branch-and-bound is
+	// exponential in coupled model size, so the split shrinks search trees
+	// multiplicatively. In sharded mode the decomposition is forced along
+	// shard lines instead: each shard's jobs become that shard's planner (a
+	// concurrent sub-solve over an optimistic copy of the shared supply) and
+	// jobs no shard can hold are serialized through the gang-arbitrator
+	// component (docs/SHARDING.md).
 	compSpan := s.tr.Begin("compile", "compile")
-	comp, err := compiler.Compile(jobExprs, compiler.Options{
-		Universe:  s.c.N(),
-		Horizon:   s.horizon(),
-		ReleaseAt: rel,
-	})
-	if err != nil {
-		// Should be impossible for generated expressions; fail safe by
-		// making no decisions this cycle.
-		compSpan.End(trace.S("error", err.Error()))
-		return
+	compT0 := time.Now()
+	var comp *compiler.Compiled
+	var comps []*compiler.Component
+	var assign []int
+	spanning := 0
+	arbClass := -1
+	if s.sharded() {
+		arbClass = len(s.shardSets)
 	}
+	if s.feLookup(reqs, rel) {
+		comp, comps, assign, spanning = s.fe.comp, s.fe.comps, s.fe.assign, s.fe.spanning
+		s.Stats.CompileSkips += len(reqs)
+	} else {
+		jobExprs := make([]strl.Expr, len(reqs))
+		for i, r := range reqs {
+			jobExprs[i] = r.Expr
+		}
+		var err error
+		comp, err = s.compScr.Compile(jobExprs, compiler.Options{
+			Universe:  s.c.N(),
+			Horizon:   s.horizon(),
+			ReleaseAt: rel,
+		})
+		if err != nil {
+			// Should be impossible for generated expressions; fail safe by
+			// making no decisions this cycle.
+			s.Stats.CompileNS += time.Since(compT0).Nanoseconds()
+			compSpan.End(trace.S("error", err.Error()))
+			return
+		}
+		if s.sharded() {
+			assign, spanning = shard.Assign(s.shardSets, reqs)
+			comps = comp.ForcedComponents(assign, arbClass)
+		} else {
+			comps = comp.Components()
+		}
+		s.Stats.CompileJobs += len(reqs)
+		if s.feEnabled() {
+			s.feStore(reqs, rel, comp, comps, assign, spanning)
+		}
+	}
+	if s.sharded() {
+		// The epoch snapshot taken here is what commit-time conflict
+		// classification validates against; it reflects this cycle's shared
+		// state, so it is taken fresh whether or not the compile was skipped.
+		shSpan := s.tr.Begin("shard", "shard.assign")
+		s.shardSnap = s.shardState.Snapshot(s.shardSnap)
+		s.shardStats.Cycles++
+		s.shardStats.Spanning += int64(spanning)
+		shSpan.End(trace.I("shards", int64(len(s.shardSets))),
+			trace.I("spanning", int64(spanning)),
+			trace.I("components", int64(len(comps))))
+	}
+	s.Stats.CompileNS += time.Since(compT0).Nanoseconds()
 	compSpan.End(trace.I("jobs", int64(len(reqs))), trace.I("vars", int64(len(comp.Model.Vars))),
 		trace.I("cons", int64(len(comp.Model.Cons))), trace.I("horizon", s.horizon()))
 	// Warm start: re-propose last cycle's deferred choices, shifted one
@@ -581,36 +696,6 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 	for _, r := range reqs {
 		delete(s.lastJob, r.Job.ID)
 	}
-	// Decompose: jobs competing for disjoint node groups across the window
-	// form independent sub-MILPs that solve concurrently. Branch-and-bound is
-	// exponential in coupled model size, so the split shrinks search trees
-	// multiplicatively; seeds, heuristics, and trace spans are routed to the
-	// component owning each job.
-	//
-	// In sharded mode the decomposition is forced along shard lines instead:
-	// each shard's jobs become that shard's planner (a concurrent sub-solve
-	// over an optimistic copy of the shared supply), jobs no shard can hold
-	// are serialized through the gang-arbitrator component, and the epoch
-	// snapshot taken here is what commit-time conflict classification
-	// validates against (docs/SHARDING.md).
-	var comps []*compiler.Component
-	var assign []int
-	arbClass := -1
-	if s.sharded() {
-		shSpan := s.tr.Begin("shard", "shard.assign")
-		s.shardSnap = s.shardState.Snapshot(s.shardSnap)
-		var spanning int
-		assign, spanning = shard.Assign(s.shardSets, reqs)
-		arbClass = len(s.shardSets)
-		comps = comp.ForcedComponents(assign, arbClass)
-		s.shardStats.Cycles++
-		s.shardStats.Spanning += int64(spanning)
-		shSpan.End(trace.I("shards", int64(len(s.shardSets))),
-			trace.I("spanning", int64(spanning)),
-			trace.I("components", int64(len(comps))))
-	} else {
-		comps = comp.Components()
-	}
 	mopts := milp.Options{
 		Gap:              s.cfg.Gap,
 		TimeLimit:        s.cfg.SolverTimeLimit,
@@ -622,6 +707,7 @@ func (s *Scheduler) globalCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 	}
 	solveSpan := s.tr.Begin("solve", "solve")
 	t0 := time.Now()
+	var err error
 	var sol *milp.Solution
 	var failed []*strlgen.Request
 	var inc *incCycle
@@ -809,7 +895,14 @@ func (s *Scheduler) classifyConflict(comp *compiler.Compiled, g compiler.LeafGra
 	if len(s.shardMoved) == 0 {
 		return false
 	}
-	aug := working.Clone()
+	// The augmented set is rebuilt from scratch on every call, so it lives in
+	// a per-scheduler scratch instead of a fresh allocation per failed grant
+	// (TestClassifyConflictAllocs pins this path allocation-free).
+	if s.conflictScratch == nil || s.conflictScratch.Cap() != working.Cap() {
+		s.conflictScratch = bitset.New(working.Cap())
+	}
+	aug := s.conflictScratch
+	aug.CopyFrom(working)
 	added := false
 	for _, n := range s.shardMoved {
 		if !aug.Contains(n) {
@@ -1004,12 +1097,18 @@ func (s *Scheduler) greedyCycle(now int64, free *bitset.Set, reqs []*strlgen.Req
 	working := free.Clone()
 	for _, req := range reqs {
 		compSpan := s.tr.Begin("compile", "compile")
-		comp, err := compiler.Compile([]strl.Expr{req.Expr}, compiler.Options{
+		compT0 := time.Now()
+		// Per-probe compiles share the scheduler's pooled build buffers, so
+		// the per-request path no longer re-pays the full build-state
+		// allocation storm for every job (the Compiled keeps its jobs slice,
+		// so that one stays per-iteration).
+		comp, err := s.compScr.Compile([]strl.Expr{req.Expr}, compiler.Options{
 			Universe:  s.c.N(),
 			Horizon:   s.horizon(),
 			ReleaseAt: rel,
 			BusyAt:    claims.busyAt,
 		})
+		s.Stats.CompileNS += time.Since(compT0).Nanoseconds()
 		if err != nil {
 			compSpan.End(trace.S("error", err.Error()))
 			continue

@@ -145,6 +145,17 @@ func TestStatusExposesSolverStats(t *testing.T) {
 	if st.Solver.ReuseHits != 0 || st.Solver.ReuseHitRate != 0 {
 		t.Errorf("single cold cycle cannot have replayed: %+v", st.Solver)
 	}
+	// Same for the cycle front end: one cold cycle generates and compiles
+	// every job fresh, so misses and work counters move while hits stay zero.
+	if st.Solver.ExprMisses == 0 || st.Solver.CompileJobs == 0 {
+		t.Errorf("solver block reports no front-end work: %+v", st.Solver)
+	}
+	if st.Solver.ExprHits != 0 || st.Solver.CompileSkips != 0 || st.Solver.CompileSkipRate != 0 {
+		t.Errorf("single cold cycle cannot have hit the front-end caches: %+v", st.Solver)
+	}
+	if st.Solver.GenerateMillis <= 0 || st.Solver.CompileMillis <= 0 {
+		t.Errorf("front-end timers missing from status: %+v", st.Solver)
+	}
 }
 
 // TestMetricsEndpoint: /metrics serves Prometheus text format with the
@@ -183,6 +194,13 @@ func TestMetricsEndpoint(t *testing.T) {
 		"tetrisched_solver_reuse_hits_total",
 		"tetrisched_solver_reuse_misses_total",
 		"tetrisched_solver_reuse_hit_rate",
+		"tetrisched_solver_expr_cache_hits_total",
+		"tetrisched_solver_expr_cache_misses_total",
+		"tetrisched_solver_compile_skips_total",
+		"tetrisched_solver_compile_jobs_total",
+		"tetrisched_solver_compile_skip_rate",
+		"# TYPE tetrisched_solver_generate_seconds_total counter",
+		"# TYPE tetrisched_solver_compile_seconds_total counter",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics output missing %q", want)

@@ -28,8 +28,8 @@ import (
 type JobMsg struct {
 	ID          int     `json:"id"`
 	Tenant      string  `json:"tenant,omitempty"` // multi-tenant front door (POST /v1/submit)
-	Class       string  `json:"class"` // "SLO" | "BE"
-	Type        string  `json:"type"`  // "Unconstrained" | "GPU" | "MPI" | "Elastic"
+	Class       string  `json:"class"`            // "SLO" | "BE"
+	Type        string  `json:"type"`             // "Unconstrained" | "GPU" | "MPI" | "Elastic"
 	Submit      int64   `json:"submit"`
 	K           int     `json:"k"`
 	MinK        int     `json:"min_k,omitempty"`
@@ -135,6 +135,13 @@ type SolverStatusMsg struct {
 	ReuseHits       int     `json:"reuse_hits"`
 	ReuseMisses     int     `json:"reuse_misses"`
 	ReuseHitRate    float64 `json:"reuse_hit_rate"`
+	ExprHits        int     `json:"expr_hits"`
+	ExprMisses      int     `json:"expr_misses"`
+	CompileSkips    int     `json:"compile_skips"`
+	CompileJobs     int     `json:"compile_jobs"`
+	CompileSkipRate float64 `json:"compile_skip_rate"`
+	GenerateMillis  float64 `json:"generate_millis"`
+	CompileMillis   float64 `json:"compile_millis"`
 	WarmHitRate     float64 `json:"lp_warm_hit_rate"`
 	MeanSolveMillis float64 `json:"mean_solve_millis"`
 	MaxSolveMillis  float64 `json:"max_solve_millis"`
@@ -516,6 +523,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			Decomposed: st.Decomposed, Components: st.Components,
 			ReuseHits: st.ReuseHits, ReuseMisses: st.ReuseMisses,
 			ReuseHitRate:    st.ReuseHitRate(),
+			ExprHits:        st.ExprHits,
+			ExprMisses:      st.ExprMisses,
+			CompileSkips:    st.CompileSkips,
+			CompileJobs:     st.CompileJobs,
+			CompileSkipRate: st.CompileSkipRate(),
+			GenerateMillis:  float64(st.GenerateNS) / 1e6,
+			CompileMillis:   float64(st.CompileNS) / 1e6,
 			WarmHitRate:     st.WarmHitRate(),
 			MeanSolveMillis: ms(st.MeanSolve()),
 			MaxSolveMillis:  ms(st.MaxSolve),
@@ -612,6 +626,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("tetrisched_solver_reuse_hits_total", "Component sub-solves replayed from the previous cycle.", uint64(st.ReuseHits))
 		counter("tetrisched_solver_reuse_misses_total", "Fingerprinted components solved fresh.", uint64(st.ReuseMisses))
 		gauge("tetrisched_solver_reuse_hit_rate", "Fraction of fingerprinted sub-solves served by replay.", st.ReuseHitRate())
+		counter("tetrisched_solver_expr_cache_hits_total", "Pending-job STRL requests served from the expression cache.", uint64(st.ExprHits))
+		counter("tetrisched_solver_expr_cache_misses_total", "Pending-job STRL requests generated fresh.", uint64(st.ExprMisses))
+		counter("tetrisched_solver_compile_skips_total", "Batch jobs whose compilation was skipped by the compile cache.", uint64(st.CompileSkips))
+		counter("tetrisched_solver_compile_jobs_total", "Batch jobs compiled into a MILP.", uint64(st.CompileJobs))
+		gauge("tetrisched_solver_compile_skip_rate", "Fraction of batch jobs served by the compile cache.", st.CompileSkipRate())
+		const genSec = "tetrisched_solver_generate_seconds_total"
+		fmt.Fprintf(&b, "# HELP %s Cumulative STRL generation wall-clock.\n# TYPE %s counter\n%s %g\n",
+			genSec, genSec, genSec, float64(st.GenerateNS)/1e9)
+		const compSec = "tetrisched_solver_compile_seconds_total"
+		fmt.Fprintf(&b, "# HELP %s Cumulative MILP compilation wall-clock.\n# TYPE %s counter\n%s %g\n",
+			compSec, compSec, compSec, float64(st.CompileNS)/1e9)
 		gauge("tetrisched_solver_lp_warm_hit_rate", "Fraction of node LPs served warm.", st.WarmHitRate())
 		counter("tetrisched_solver_presolve_vars_fixed_total", "Variables fixed by presolve before branch-and-bound.", uint64(st.PresolveFixed))
 		counter("tetrisched_solver_presolve_rows_dropped_total", "Constraint rows eliminated by presolve.", uint64(st.PresolveRows))
